@@ -1,0 +1,53 @@
+"""Figure 4: "Communication graph of Strassen's algorithm implementation.
+
+    Each node corresponds to one or two messages.  The arcs describe
+    causality of messages."
+
+The benchmark regenerates the communication graph from the 8-process
+Strassen trace, exports it in VCG format (as the paper rendered its
+graphs with xvcg), and asserts the structure: one node per matched
+message pair, star topology through process 0, and causality arcs from
+each worker's operand receives to its result send.
+"""
+
+from __future__ import annotations
+
+from repro.apps import strassen as st
+from repro.graphs import build_comm_graph, comm_graph_to_dot, comm_graph_to_vcg
+
+from .conftest import write_artifact
+
+
+def test_fig4_commgraph(benchmark, strassen8_trace):
+    trace = strassen8_trace
+    graph = benchmark(lambda: build_comm_graph(trace))
+
+    vcg = comm_graph_to_vcg(graph, title="Strassen communication graph")
+    artifact = graph.as_text() + "\n\n" + vcg
+    write_artifact("fig4_commgraph.txt", artifact)
+    write_artifact("fig4_commgraph.dot", comm_graph_to_dot(graph))
+
+    # --- structure ---------------------------------------------------------
+    # 7 workers x 2 operand messages + 7 results = 21 matched pairs.
+    assert graph.node_count() == 21
+    assert graph.unmatched_sends == [] and graph.unmatched_recvs == []
+
+    # Star topology: every message involves process 0.
+    for node in graph.nodes:
+        assert 0 in (node.src, node.dst)
+
+    # Causality: each worker's result node is preceded by an operand node
+    # of the same worker ("the arcs describe causality of messages").
+    by_id = {n.node_id: n for n in graph.nodes}
+    for node in graph.nodes:
+        if node.tag == st.TAG_RESULT:
+            preds = [by_id[i] for i in graph.predecessors(node.node_id)]
+            assert any(
+                p.tag in (st.TAG_OPERAND_A, st.TAG_OPERAND_B)
+                and p.dst == node.src
+                for p in preds
+            ), f"result from worker {node.src} lacks an operand cause"
+
+    # The VCG export carries every node and arc.
+    assert vcg.count("node:") == 21
+    assert vcg.count("edge:") == graph.arc_count()

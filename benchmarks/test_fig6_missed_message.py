@@ -1,0 +1,82 @@
+"""Figure 6: "Missed message from process 0 to process 7.  The correct
+message sequence is shown in Figure 3.  The vertical stopline (on the
+left side) gives a consistent set of breakpoints for replay."
+
+The paper's diagnosis path: magnify the message bundle; notice that
+"processes 1-6 each have a small vertical tick before a longer
+computation bar" while "process 7 is missing that tick"; count receives
+(1-6 get two, 7 gets one); then set a stopline "somewhere before the
+first send in the group".
+
+The benchmark regenerates each element: the per-process receive counts,
+the tick asymmetry (worker 7 lacks the post-first-receive compute), the
+missed-message identification, the zoomed view, and the consistent
+stopline before the first send.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_matching
+from repro.apps import strassen as st
+from repro.debugger import compute_stopline, verify_stopline_consistency
+from repro.viz import Viewport, build_diagram, render_ascii
+
+from .conftest import write_artifact
+
+
+def test_fig6_missed_message(benchmark, buggy_strassen_state):
+    trace, waiting = buggy_strassen_state
+
+    report = benchmark(lambda: analyze_matching(trace, blocked=waiting))
+
+    # --- receive counts: the paper's key observation ------------------------
+    counts = trace.recv_counts()
+    count_lines = [
+        f"  p{r}: {counts[r]} receive(s)" + ("   <-- anomaly" if r == 7 else "")
+        for r in range(8)
+    ]
+    assert all(counts[w] == 2 for w in range(1, 7))
+    assert counts[7] == 1
+    assert counts[0] == 6  # six results arrived; the seventh never will
+
+    # --- the tick: a short compute right after the first receive -----------
+    def has_tick(rank: int) -> bool:
+        rows = [r for r in trace.by_proc(rank) if r.is_recv or r.kind.value == "compute"]
+        for prev, nxt in zip(rows, rows[1:]):
+            if prev.is_recv and nxt.kind.value == "compute" and nxt.duration < 1.0:
+                return True
+        return False
+
+    ticks = {r: has_tick(r) for r in range(1, 8)}
+    assert all(ticks[w] for w in range(1, 7)), "workers 1-6 show the tick"
+    assert not ticks[7], "process 7 is missing that tick"
+
+    # --- the missed message --------------------------------------------------
+    assert len(report.unmatched_sends) == 1
+    assert len(report.missed) == 1
+    missed = report.missed[0]
+    assert missed.send.src == 0
+    assert missed.starving.rank == 7  # "from process 0 to process 7"
+    assert missed.send.tag == st.TAG_OPERAND_B
+
+    # --- stopline before the first send in the group ------------------------
+    first_send = next(r for r in trace.by_proc(0) if r.is_send)
+    stopline = compute_stopline(trace, first_send.index)
+    assert verify_stopline_consistency(trace, stopline), (
+        "the stopline gives a consistent set of breakpoints"
+    )
+    assert stopline.thresholds[0] == first_send.marker
+
+    # --- the magnified view ---------------------------------------------------
+    diagram = build_diagram(trace)
+    diagram.set_stopline(stopline.time)
+    t_lo, _ = trace.span
+    zoom = Viewport(t_lo, first_send.t1 + 30.0, columns=100)
+    view = render_ascii(diagram, zoom, columns=100)
+
+    artifact = "\n".join(
+        ["Figure 6: per-process receive counts"]
+        + count_lines
+        + ["", report.as_text(), "", stopline.describe(), "", view]
+    )
+    write_artifact("fig6_missed_message.txt", artifact)

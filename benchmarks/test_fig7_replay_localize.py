@@ -1,0 +1,88 @@
+"""Figure 7: "Identification of the incorrect send destination with p2d2."
+
+    "When the user requests a re-execution, the debugger restarts the
+    computation, and as part of that, stores the execution markers in
+    the UserMonitor threshold variables ...  When this occurs in our
+    example, a few step operations would lead the user to the loop of
+    MatrSend.  Stepping through the loop, the user will find that jres
+    should be replaced by jres+1."
+
+The benchmark drives the full localization: run the buggy program to the
+deadlock, set a stopline before the first operand send, replay (all
+eight processes stop consistently), then step process 0 through
+matr_send until the send whose destination disagrees with the intended
+worker -- and checks the replayed prefix is identical to the original.
+"""
+
+from __future__ import annotations
+
+from repro import mp
+from repro.apps import strassen as st
+from repro.debugger import DebugSession
+
+from .conftest import write_artifact
+
+
+def localize_bug() -> dict:
+    cfg = st.StrassenConfig(n=16, nprocs=8, buggy=True)
+    session = DebugSession(st.strassen_program(cfg), 8)
+    first = session.run()
+    trace = session.trace()
+    first_send = next(r for r in trace.by_proc(0) if r.is_send)
+    stopline = session.set_stopline(first_send.index)
+    replay_summary = session.replay()
+    replay_markers = session.markers().as_dict()
+    session.clear_thresholds()
+
+    step_log = []
+    bug = None
+    for _ in range(12):
+        session.step(0)
+        sends = [r for r in session.trace().by_proc(0) if r.is_send]
+        if len(sends) > len(step_log):
+            rec = sends[-1]
+            expected = 1  # jres = 0: both operands belong to worker 1
+            wrong = rec.tag == st.TAG_OPERAND_B and rec.dst != expected
+            step_log.append(
+                f"send tag={rec.tag} dest=p{rec.dst} at {rec.location}"
+                + ("   <-- jres should be jres+1" if wrong else "")
+            )
+            if wrong:
+                bug = rec
+                break
+    out = {
+        "first_outcome": first.outcome,
+        "replay_outcome": replay_summary.outcome,
+        "stopline": stopline,
+        "replay_markers": replay_markers,
+        "step_log": step_log,
+        "bug": bug,
+        "session": session,
+    }
+    return out
+
+
+def test_fig7_replay_localize(benchmark):
+    out = benchmark.pedantic(localize_bug, rounds=3, iterations=1)
+    session = out["session"]
+
+    lines = [
+        f"initial run: {out['first_outcome'].value}",
+        out["stopline"].describe(),
+        f"replay: {out['replay_outcome'].value} at {out['replay_markers']}",
+        "stepping process 0 through matr_send:",
+    ] + ["  " + s for s in out["step_log"]]
+    write_artifact("fig7_replay_localize.txt", "\n".join(lines))
+
+    # --- the scenario's shape -------------------------------------------------
+    assert out["first_outcome"] is mp.RunOutcome.DEADLOCK
+    assert out["replay_outcome"] is mp.RunOutcome.STOPPED
+    # The replay parked process 0 exactly at the stopline threshold.
+    assert out["replay_markers"][0] == out["stopline"].thresholds[0]
+    # A few steps located the send with the wrong destination.
+    bug = out["bug"]
+    assert bug is not None
+    assert bug.tag == st.TAG_OPERAND_B and bug.dst == 0
+    assert "strassen.py" in bug.location.filename
+    assert len(out["step_log"]) <= 4  # "a few step operations"
+    session.shutdown()

@@ -1,0 +1,75 @@
+"""Figure 9: "Dynamic call graph from Strassen example.  Multiple arcs
+show multiple function calls.  The number of calls per arc is
+adjustable.  Each arc has an image in the execution trace.  The graph
+was converted to VCG format displayed with the xvcg graph layout tool."
+
+The benchmark builds the dynamic call graph of the instrumented Strassen
+master from FUNC_ENTRY/EXIT records, exports it to VCG, and asserts the
+figure's features: call multiplicities matching the algorithm's static
+structure (seven products), the adjustable calls-per-arc rendering, and
+the arc -> trace-record back-pointers.
+"""
+
+from __future__ import annotations
+
+from repro.apps import strassen as st
+from repro.graphs import ROOT_FUNCTION, build_call_graph, call_graph_to_vcg
+
+from .conftest import traced_run, write_artifact
+
+
+def test_fig9_callgraph(benchmark):
+    cfg = st.StrassenConfig(n=16, nprocs=8)
+    _, trace = traced_run(
+        st.strassen_program(cfg),
+        8,
+        functions=[
+            st.strassen_master,
+            st.strassen_worker,
+            st.matr_send,
+            st.matr_combine,
+            st.strassen_operands,
+            st.combine_products,
+            st.multiply_block,
+            st.split_quadrants,
+            st.make_inputs,
+        ],
+    )
+
+    graph = benchmark(lambda: build_call_graph(trace, proc=0))
+
+    vcg_single = call_graph_to_vcg(graph, calls_per_arc=0)
+    vcg_multi = call_graph_to_vcg(graph, calls_per_arc=1)
+    artifact = graph.as_text(calls_per_arc=1) + "\n\n" + vcg_single
+    write_artifact("fig9_callgraph.txt", artifact)
+    write_artifact("fig9_callgraph.vcg", vcg_multi)
+
+    # --- multiplicities match the algorithm --------------------------------
+    # The master: one strassen_master; strassen_operands called once and
+    # performing the 7-product decomposition; matr_send/matr_combine once.
+    assert graph.counts["strassen_master"] == 1
+    assert graph.counts["matr_send"] == 1
+    assert graph.counts["matr_combine"] == 1
+    # split_quadrants: once for A and once for B inside strassen_operands.
+    assert graph.edges[("strassen_operands", "split_quadrants")].calls == 2
+    # combine_products is called by matr_combine exactly once.
+    assert graph.edges[("matr_combine", "combine_products")].calls == 1
+    assert (ROOT_FUNCTION, "strassen_master") in graph.edges
+
+    # Worker side (merged over procs): 7 block multiplies in total.
+    merged = build_call_graph(trace, proc=None)
+    assert merged.counts["multiply_block"] == 7
+    assert merged.counts["strassen_worker"] == 7  # one per worker
+
+    # --- "the number of calls per arc is adjustable" -------------------------
+    edge = graph.edges[("strassen_operands", "split_quadrants")]
+    assert edge.arcs_displayed(1) == 2
+    assert edge.arcs_displayed(2) == 1
+    per_edge_arcs = vcg_multi.count(
+        'sourcename: "strassen_operands" targetname: "split_quadrants"'
+    )
+    assert per_edge_arcs == 2  # multiple parallel arcs drawn
+
+    # --- "each arc has an image in the execution trace" ----------------------
+    assert 0 <= edge.first_index <= edge.last_index < len(trace)
+    assert trace[edge.first_index].location.function == "split_quadrants"

@@ -1,0 +1,109 @@
+"""Table 1: instrumentation overhead.
+
+Paper's rows (SGI hardware, gcc/uinst assembler-level instrumentation):
+
+    |                  | Strassen (4 procs) |             | Fibonacci |       |
+    | input            | 96.128.112         | 192.256.224 | 34        | 35    |
+    | number of calls  | 136                | 136         | 18.4M     | 29.9M |
+    | time (uninstr.)  | 8.19               | 28.72       | 5.17      | 8.36  |
+    | time (instr.)    | 8.46               | 28.77       | 20.98     | 34.12 |
+
+Shape to reproduce (scaled inputs -- Python on one machine, not Fortran
+on an R8000 cluster; see EXPERIMENTS.md for the calibration notes):
+
+* Strassen's monitor-call count is small and *independent of problem
+  size*, so its overhead ratio stays near 1 (paper: 1.03x / 1.002x);
+* Fibonacci makes exponentially many calls -- count matches the closed
+  form 2*fib(n+1)-1 exactly -- so per-call monitoring dominates and the
+  ratio is a large multiple (paper: ~4x with assembler-level hooks; the
+  Python profile-hook analog is proportionally costlier);
+* the Dyninst-style patch instrumentation (the paper's §6 proposal,
+  implemented in ``repro.instrument.dyninst``) cuts the call-dominated
+  overhead well below the profile-hook method, supporting the paper's
+  conclusion that better compiler/debugger integration reduces cost.
+"""
+
+from __future__ import annotations
+
+from repro.apps import fibonacci as fibmod
+from repro.apps import strassen as st
+from repro.instrument import format_table, measure_overhead, timed_run
+
+from .conftest import write_artifact
+
+#: scaled-down inputs (the paper's fib(35) would take minutes in Python)
+STRASSEN_SIZES = (96, 256)
+FIB_INPUTS = (20, 22)
+REPEATS = 3
+
+
+def _strassen_row(n: int, method: str):
+    cfg = st.StrassenConfig(n=n, nprocs=4)
+    return measure_overhead(
+        f"strassen-4proc[{method}]",
+        str(n),
+        st.strassen_program(cfg),
+        4,
+        instrument_modules=[st],
+        repeats=REPEATS,
+        method=method,
+    )
+
+
+def _fib_row(n: int, method: str):
+    return measure_overhead(
+        f"fibonacci[{method}]",
+        str(n),
+        fibmod.fib_program(n),
+        1,
+        instrument_functions=[fibmod.fib],
+        repeats=REPEATS,
+        method=method,
+    )
+
+
+def test_table1_overhead(benchmark):
+    rows = []
+    for n in STRASSEN_SIZES:
+        rows.append(_strassen_row(n, "uinst"))
+    for n in FIB_INPUTS:
+        rows.append(_fib_row(n, "uinst"))
+    for n in FIB_INPUTS:
+        rows.append(_fib_row(n, "patch"))
+
+    # The benchmarked operation: one instrumented fib run (the paper's
+    # worst case, where the monitor cost is the measured quantity).
+    benchmark(
+        lambda: timed_run(
+            fibmod.fib_program(FIB_INPUTS[0]),
+            1,
+            instrument_functions=[fibmod.fib],
+        )
+    )
+
+    table = format_table(rows)
+    write_artifact("table1_overhead.txt", table)
+
+    s_small, s_big, f20, f22, p20, p22 = rows
+    # --- call-count shape -----------------------------------------------
+    # Strassen's monitor calls don't grow with the matrix size...
+    assert s_small.n_calls == s_big.n_calls
+    # ...and Fibonacci's match the closed form exactly, in both methods.
+    for row, n in ((f20, 20), (f22, 22), (p20, 20), (p22, 22)):
+        assert row.n_calls == fibmod.fib_call_count(n)
+    assert f22.n_calls > f20.n_calls * 2  # exponential growth
+    assert f22.n_calls > 500 * s_big.n_calls  # calls dominate vs Strassen
+
+    # --- overhead shape ---------------------------------------------------
+    # Call-dominated fib pays a multiple; coarse-grained Strassen pays
+    # far less (the paper's central contrast).
+    assert f22.ratio > 1.5, f"fib ratio {f22.ratio}"
+    assert f22.ratio > 2 * s_big.ratio, (
+        f"call-dominated fib ({f22.ratio:.2f}x) must exceed "
+        f"coarse-grained strassen ({s_big.ratio:.2f}x)"
+    )
+    # The §6 patch method beats the profile hook on call-heavy code.
+    assert p22.ratio < f22.ratio, (
+        f"patch ({p22.ratio:.2f}x) should undercut profile-hook "
+        f"({f22.ratio:.2f}x)"
+    )

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The paper's worked debugging session (Figures 5, 6, 7), as a script.
+
+A distributed Strassen matrix multiply has a one-character bug: in
+``matr_send`` the destination of the second operand send is computed
+with ``jres`` where it should be ``jres + 1``.  On 8 processes the
+program deadlocks: worker 7 never receives its second operand, and
+process 0 blocks waiting for worker 7's result.
+
+The session below retraces the paper:
+
+* Figure 5 -- the run hangs; the trace shows processes 0 and 7 blocked
+  in receives waiting for each other;
+* Figure 6 -- zooming in: workers 1-6 received two messages each,
+  worker 7 only one; the matching analysis pins the missed message;
+* Figure 7 -- a stopline before the first send, a controlled replay,
+  and a few steps land on the send with the wrong destination.
+
+Run:  python examples/debug_deadlock.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.apps import strassen as st
+from repro.debugger import DebugSession
+from repro.viz import Viewport, build_diagram, render_ascii, save_svg
+
+OUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def main() -> None:
+    cfg = st.StrassenConfig(n=16, nprocs=8, buggy=True)
+    session = DebugSession(st.strassen_program(cfg), 8)
+
+    # ------------------------------------------------------------------
+    print("=== Figure 5: the run deadlocks ===")
+    summary = session.run()
+    print(summary.describe())
+    print()
+    print(session.deadlock_report().as_text())
+
+    # ------------------------------------------------------------------
+    print("\n=== the time-space view of the hang ===")
+    trace = session.trace()
+    diagram = build_diagram(trace)
+    print(render_ascii(diagram, columns=90))
+
+    print("\n=== Figure 6: zoom in on the message bundle ===")
+    # Workers 1-6 show the tick (2 receives); worker 7 is missing one.
+    counts = trace.recv_counts()
+    for rank in range(8):
+        tick = "two operands" if counts[rank] == 2 else f"{counts[rank]} receive(s)"
+        print(f"  p{rank}: {tick}")
+    report = session.matching_report()
+    print()
+    print(report.as_text())
+
+    # ------------------------------------------------------------------
+    print("\n=== Figure 6 (cont.): set a stopline before the first send ===")
+    first_send = next(r for r in trace.by_proc(0) if r.is_send)
+    stopline = session.set_stopline(first_send.index)
+    print(stopline.describe())
+
+    diagram.set_stopline(stopline.time)
+    OUT_DIR.mkdir(exist_ok=True)
+    save_svg(diagram, OUT_DIR / "figure6_stopline.svg")
+
+    # ------------------------------------------------------------------
+    print("\n=== Figure 7: replay to the stopline and step to the bug ===")
+    summary = session.replay()
+    print(summary.describe())
+    session.clear_thresholds()
+
+    # Step process 0 through matr_send: watch each send's destination.
+    expected_dest = {st.TAG_OPERAND_A: 1, st.TAG_OPERAND_B: 1}
+    for _ in range(8):
+        session.step(0)
+        sends = [r for r in session.trace().by_proc(0) if r.is_send]
+        if not sends:
+            continue
+        last = sends[-1]
+        want = expected_dest.get(last.tag)
+        note = ""
+        if want is not None and last.dst != want:
+            note = f"   <-- BUG: expected dest={want} (jres+1), got {last.dst} (jres)"
+        print(
+            f"  step: send tag={last.tag} -> p{last.dst} "
+            f"from {last.location}{note}"
+        )
+        if note:
+            print(
+                "\nDiagnosis: in matr_send, the second operand's destination"
+                "\nis computed as `jres % n_workers` -- it must be"
+                " `1 + (jres % n_workers)`."
+            )
+            break
+
+    session.shutdown()
+    print(f"\nSVG with stopline written to {OUT_DIR / 'figure6_stopline.svg'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: run a message-passing program, trace it, and look around.
+
+This walks the core loop of the library in five minutes:
+
+1. write an SPMD program against the mpi4py-flavoured ``Comm`` API;
+2. run it under the simulated runtime with automatic (PMPI-wrapper)
+   instrumentation;
+3. inspect the trace: events, matched messages, per-process timings;
+4. draw the time-space diagram in the terminal and as SVG;
+5. set a marker threshold and watch the debugger stop the program
+   mid-flight.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.debugger import DebugSession
+from repro.viz import build_diagram, render_ascii, save_svg
+
+OUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def ring_reduce(comm):
+    """Each rank contributes rank+1; a token accumulates around the ring,
+    then the total is broadcast back."""
+    if comm.rank == 0:
+        comm.send(1, dest=1, tag=0)  # seed the token with rank 0's value
+        total = comm.recv(source=comm.size - 1, tag=0)
+        return comm.bcast(total, root=0)
+    token = comm.recv(source=comm.rank - 1, tag=0)
+    comm.compute(2.0, label="local-work")
+    comm.send(token + comm.rank + 1, dest=(comm.rank + 1) % comm.size, tag=0)
+    return comm.bcast(None, root=0)
+
+
+def main() -> None:
+    nprocs = 6
+    print("=== 1. launch under the debugger ===")
+    session = DebugSession(ring_reduce, nprocs)
+
+    print("=== 2. stop mid-flight with a UserMonitor threshold ===")
+    session.set_threshold(3, 2)  # park rank 3 at its 2nd instrumentation point
+    summary = session.run()
+    print(summary.describe())
+    print("rank 3 is at:", session.where(3))
+
+    print("\n=== 3. continue to completion ===")
+    session.set_threshold(3, None)
+    final = session.cont()
+    print(final.describe())
+    expected = sum(range(1, nprocs + 1))
+    results = session.results()
+    print(f"results: {results} (expected total {expected})")
+    assert all(r == expected for r in results)
+
+    print("\n=== 4. inspect the trace ===")
+    trace = session.trace()
+    print(f"{len(trace)} records; span t={trace.span[0]:.1f}..{trace.span[1]:.1f}")
+    print(f"matched messages: {len(trace.message_pairs())}")
+    for pair in trace.message_pairs()[:3]:
+        print(
+            f"  {pair.send.src}->{pair.recv.dst} tag={pair.send.tag} "
+            f"latency={pair.latency:.2f} sent at {pair.send.location}"
+        )
+
+    print("\n=== 5. time-space diagram (NTV-style) ===")
+    diagram = build_diagram(trace)
+    print(render_ascii(diagram, columns=90))
+
+    OUT_DIR.mkdir(exist_ok=True)
+    svg_path = OUT_DIR / "quickstart_timespace.svg"
+    save_svg(diagram, svg_path)
+    print(f"\nSVG written to {svg_path}")
+    session.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,160 @@
+"""Critical-path analysis over the happens-before DAG.
+
+The longest causal chain through the trace bounds the execution's
+makespan: no scheduling or overlap can make the run shorter than its
+critical path.  Identifying it tells the user *which* dependency chain
+(computes and message hops) to attack -- the quantitative companion to
+eyeballing the time-space diagram's dominant diagonal.
+
+Edges and weights:
+
+* program order: consecutive records of one process, weighted by the
+  later record's duration (plus any idle gap in between -- idle gaps are
+  *not* on the critical path, so they carry zero weight);
+* message order: a send's record to its receive's record, weighted by
+  the transfer portion of the receive (completion minus send time).
+
+The path is computed by a longest-path pass in trace order, which is a
+topological order of the happens-before DAG (receives are recorded after
+their sends; per-process order is program order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.events import TraceRecord
+from repro.trace.trace import Trace
+
+
+@dataclass
+class CriticalPath:
+    """The longest weighted causal chain of a trace."""
+
+    records: list[TraceRecord]
+    length: float
+    #: total duration of all events on every process (for the ratio)
+    span: float
+    #: effective work weight of each path record (blocked receive time
+    #: excluded), parallel to ``records``
+    weights: list[float] = None  # type: ignore[assignment]
+
+    @property
+    def dominance(self) -> float:
+        """Path length / trace span: near 1.0 means fully serialized."""
+        return self.length / self.span if self.span > 0 else 0.0
+
+    def hops(self) -> int:
+        """How many times the path crosses processes (message edges)."""
+        return sum(
+            1
+            for a, b in zip(self.records, self.records[1:])
+            if a.proc != b.proc
+        )
+
+    def as_text(self, limit: int = 30) -> str:
+        lines = [
+            f"critical path: {self.length:.2f} time units over "
+            f"{len(self.records)} events, {self.hops()} message hops, "
+            f"dominance {self.dominance:.2f}"
+        ]
+        shown = self.records if len(self.records) <= limit else (
+            self.records[: limit // 2] + self.records[-limit // 2:]
+        )
+        skipped = len(self.records) - len(shown)
+        for i, rec in enumerate(shown):
+            if skipped and i == limit // 2:
+                lines.append(f"  ... {skipped} events ...")
+            lines.append(f"  {rec}")
+        return "\n".join(lines)
+
+
+def critical_path(trace: Trace) -> CriticalPath:
+    """Longest path through the happens-before DAG of the trace."""
+    n = len(trace)
+    if n == 0:
+        return CriticalPath([], 0.0, 0.0, [])
+
+    dist = [0.0] * n  # longest path ENDING at record i (inclusive)
+    pred = [-1] * n
+    send_of_recv = {
+        pair.recv.index: pair.send.index for pair in trace.message_pairs()
+    }
+    last_on_proc: dict[int, int] = {}
+
+    def work(rec: TraceRecord) -> float:
+        """The record's weight as path work.
+
+        A blocking receive's bar includes time spent *waiting* for the
+        message; that waiting is not work on this chain (the message
+        edge carries it), so only the portion after the send completed
+        counts.  Unmatched receives (deadlocked) contribute nothing.
+        """
+        if rec.is_recv:
+            s = send_of_recv.get(rec.index)
+            if s is None:
+                return 0.0
+            return max(0.0, rec.t1 - max(trace[s].t1, rec.t0))
+        from repro.trace.events import EventKind
+
+        if rec.is_collective or rec.kind in (
+            EventKind.WAIT,
+            EventKind.WAITALL,
+            EventKind.WAITANY,
+            EventKind.SENDRECV,
+            EventKind.TEST,
+        ):
+            # Aggregate records overlap their constituent point-to-point
+            # events (which carry the weight) and include wait time.
+            return 0.0
+        return rec.duration
+
+    for rec in trace:  # trace order is a topological order
+        i = rec.index
+        w = work(rec)
+        best = w
+        best_pred = -1
+        # program-order edge
+        j = last_on_proc.get(rec.proc, -1)
+        if j >= 0:
+            cand = dist[j] + w
+            if cand > best:
+                best, best_pred = cand, j
+        # message edge: send completion -> receive completion
+        s = send_of_recv.get(i)
+        if s is not None:
+            transfer = max(0.0, rec.t1 - max(trace[s].t1, rec.t0))
+            cand = dist[s] + transfer
+            if cand > best:
+                best, best_pred = cand, s
+        dist[i] = best
+        pred[i] = best_pred
+        last_on_proc[rec.proc] = i
+
+    end = max(range(n), key=lambda i: dist[i])
+    path = []
+    i = end
+    while i >= 0:
+        path.append(trace[i])
+        i = pred[i]
+    path.reverse()
+    t_lo, t_hi = trace.span
+    return CriticalPath(
+        records=path,
+        length=dist[end],
+        span=t_hi - t_lo,
+        weights=[work(rec) for rec in path],
+    )
+
+
+def slack_per_process(trace: Trace, path: "CriticalPath | None" = None) -> dict[int, float]:
+    """Per-process slack: how much of the run each process spent NOT on
+    the critical path (a target ranking for load balancing)."""
+    if path is None:
+        path = critical_path(trace)
+    on_path: dict[int, float] = {p: 0.0 for p in range(trace.nprocs)}
+    for rec, w in zip(path.records, path.weights):
+        on_path[rec.proc] += w
+    t_lo, t_hi = trace.span
+    total = t_hi - t_lo
+    return {p: max(0.0, total - on_path[p]) for p in range(trace.nprocs)}

@@ -1,0 +1,131 @@
+"""Deadlock detection from wait-for relations (paper §4.4).
+
+    "When provided with the history trace, the debugger is also able to
+    detect deadlocks due to circular dependency in sends or receives."
+
+Two entry points:
+
+* :func:`build_wait_graph` / :func:`find_cycles` -- the wait-for graph
+  over currently-blocked processes (a blocked receive waits on its
+  source; a blocked synchronous send on its destination; an
+  ``ANY_SOURCE`` receive on every other live process) and its cycles;
+* :func:`analyze_deadlock` -- the full report combining cycles with the
+  §4.4 missed-message diagnosis, which explains *why* the cycle exists
+  (the Strassen case: 0 <-> 7 cycle caused by the operand that went
+  astray).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.mp.datatypes import ANY_SOURCE
+from repro.mp.process import WaitInfo
+from repro.trace.trace import Trace
+
+from .matching import MissedMessage, diagnose_missed_messages
+
+
+@dataclass
+class DeadlockReport:
+    """Cycles, the waits behind them, and probable causes."""
+
+    waiting: list[WaitInfo] = field(default_factory=list)
+    cycles: list[list[int]] = field(default_factory=list)
+    missed: list[MissedMessage] = field(default_factory=list)
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.cycles)
+
+    def involved_ranks(self) -> set[int]:
+        return {r for cycle in self.cycles for r in cycle}
+
+    def as_text(self) -> str:
+        if not self.waiting:
+            return "no blocked processes"
+        lines = ["deadlock report:"]
+        for w in self.waiting:
+            lines.append(f"  {w}")
+        for cycle in self.cycles:
+            pretty = " -> ".join(f"p{r}" for r in cycle + cycle[:1])
+            lines.append(f"  cycle: {pretty}")
+        for m in self.missed:
+            lines.append("  cause? " + m.describe())
+        if not self.cycles:
+            lines.append("  no circular dependency (starvation, not deadlock)")
+        return "\n".join(lines)
+
+
+def build_wait_graph(
+    waiting: Sequence[WaitInfo],
+    nprocs: int,
+) -> nx.DiGraph:
+    """Directed wait-for graph: edge p -> q means p cannot proceed until
+    q acts.  A wildcard receive waits on every other process that is
+    itself still blocked (an exited process can no longer send)."""
+    g = nx.DiGraph()
+    blocked_ranks = {w.rank for w in waiting}
+    g.add_nodes_from(blocked_ranks)
+    for w in waiting:
+        if w.peer == ANY_SOURCE:
+            for q in range(nprocs):
+                if q != w.rank and q in blocked_ranks:
+                    g.add_edge(w.rank, q)
+        elif 0 <= w.peer < nprocs:
+            g.add_edge(w.rank, w.peer)
+    return g
+
+
+def find_cycles(graph: nx.DiGraph) -> list[list[int]]:
+    """All simple cycles, each rotated to start at its smallest rank and
+    sorted for deterministic output."""
+    cycles = []
+    for cycle in nx.simple_cycles(graph):
+        k = cycle.index(min(cycle))
+        cycles.append(cycle[k:] + cycle[:k])
+    cycles.sort()
+    return cycles
+
+
+def analyze_deadlock(
+    waiting: Sequence[WaitInfo],
+    nprocs: int,
+    trace: Optional[Trace] = None,
+) -> DeadlockReport:
+    """Full deadlock analysis.
+
+    ``waiting`` usually comes from ``RunReport.waiting`` or
+    ``Runtime.blocked_waits()``.  Supplying the trace enables the
+    missed-message causal diagnosis.
+    """
+    graph = build_wait_graph(waiting, nprocs)
+    report = DeadlockReport(
+        waiting=list(waiting),
+        cycles=find_cycles(graph),
+    )
+    if trace is not None:
+        report.missed = diagnose_missed_messages(trace.unmatched_sends(), waiting)
+    return report
+
+
+def wait_chain(waiting: Sequence[WaitInfo], nprocs: int, start: int) -> list[int]:
+    """Follow who-waits-for-whom from ``start`` until it escapes the
+    blocked set or revisits a rank (cycle)."""
+    peer_of = {w.rank: w.peer for w in waiting}
+    chain = [start]
+    seen = {start}
+    cur = start
+    while cur in peer_of:
+        nxt = peer_of[cur]
+        if nxt == ANY_SOURCE or not 0 <= nxt < nprocs:
+            break
+        chain.append(nxt)
+        if nxt in seen:
+            break
+        seen.add(nxt)
+        cur = nxt
+    return chain

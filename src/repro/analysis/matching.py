@@ -1,0 +1,168 @@
+"""Send/receive matching anomalies (paper §4.4).
+
+    "The debugger maintains a list of unmatched sends and receives...
+    As soon as the communication graph has been built, the user is
+    informed about the unmatched send/receives.  At this point,
+    information about intertwined messages is also available to the
+    user."
+
+Three diagnostics:
+
+* **unmatched lists** -- sends never received and receives never
+  satisfied (from the trace and/or the live runtime);
+* **intertwined messages** -- two messages between the same (src, dst)
+  whose receive order inverts their send order (legal across different
+  tags under MPI, but frequently a bug symptom; see MPI std. p.31);
+* **missed-message diagnosis** (Figure 6) -- pairing an unmatched send
+  with a blocked receive that is plausibly its intended consumer, e.g.
+  the Strassen bug's operand that went to the wrong rank while worker 7
+  starves for exactly that tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mp.process import WaitInfo, WaitKind
+from repro.trace.events import TraceRecord
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class IntertwinedPair:
+    """Two same-route messages received in inverted send order."""
+
+    first_send: TraceRecord  # sent earlier...
+    second_send: TraceRecord
+    first_recv: TraceRecord  # ...but received later
+    second_recv: TraceRecord
+
+    def route(self) -> tuple[int, int]:
+        return (self.first_send.src, self.first_send.dst)
+
+
+@dataclass(frozen=True)
+class MissedMessage:
+    """An unmatched send paired with a starving receive (Figure 6).
+
+    ``send`` went to ``send.dst``; ``starving`` suggests its intended
+    destination was ``starving.rank`` -- "Missed message from process 0
+    to process 7."
+    """
+
+    send: TraceRecord
+    starving: WaitInfo
+
+    def describe(self) -> str:
+        return (
+            f"missed message: send {self.send.src}->{self.send.dst} "
+            f"tag={self.send.tag} at {self.send.location} was never "
+            f"received; process {self.starving.rank} is blocked waiting "
+            f"for (source={self.starving.peer}, tag={self.starving.tag}) "
+            f"at {self.starving.location} -- likely intended destination "
+            f"{self.starving.rank}"
+        )
+
+
+@dataclass
+class MatchingReport:
+    """Everything §4.4's first-level analysis surfaces."""
+
+    unmatched_sends: list[TraceRecord] = field(default_factory=list)
+    unmatched_recvs: list[TraceRecord] = field(default_factory=list)
+    intertwined: list[IntertwinedPair] = field(default_factory=list)
+    missed: list[MissedMessage] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.unmatched_sends or self.unmatched_recvs or self.missed)
+
+    def as_text(self) -> str:
+        lines = ["matching report:"]
+        if self.clean and not self.intertwined:
+            lines.append("  no anomalies")
+        for rec in self.unmatched_sends:
+            lines.append(
+                f"  unmatched send {rec.src}->{rec.dst} tag={rec.tag} "
+                f"seq={rec.seq} at {rec.location}"
+            )
+        for rec in self.unmatched_recvs:
+            lines.append(
+                f"  unmatched recv on p{rec.proc} (src={rec.src}, "
+                f"tag={rec.tag}) at {rec.location}"
+            )
+        for pair in self.intertwined:
+            lines.append(
+                f"  intertwined on route {pair.route()}: send@{pair.first_send.t1:.2f} "
+                f"received after send@{pair.second_send.t1:.2f}"
+            )
+        for m in self.missed:
+            lines.append("  " + m.describe())
+        return "\n".join(lines)
+
+
+def find_intertwined(trace: Trace) -> list[IntertwinedPair]:
+    """Pairs of same-(src,dst) messages whose receive order inverts the
+    send order.  Under non-overtaking this can only happen across
+    different tags (the same-tag case would be a runtime bug)."""
+    out: list[IntertwinedPair] = []
+    pairs = trace.message_pairs()
+    by_route: dict[tuple[int, int], list] = {}
+    for p in pairs:
+        by_route.setdefault((p.send.src, p.send.dst), []).append(p)
+    for route_pairs in by_route.values():
+        route_pairs.sort(key=lambda p: p.send.t1)
+        for i in range(len(route_pairs)):
+            for j in range(i + 1, len(route_pairs)):
+                a, b = route_pairs[i], route_pairs[j]
+                if a.recv.t1 > b.recv.t1:
+                    out.append(
+                        IntertwinedPair(
+                            first_send=a.send,
+                            second_send=b.send,
+                            first_recv=a.recv,
+                            second_recv=b.recv,
+                        )
+                    )
+    return out
+
+
+def diagnose_missed_messages(
+    unmatched_sends: Sequence[TraceRecord],
+    blocked: Sequence[WaitInfo],
+) -> list[MissedMessage]:
+    """Pair unmatched sends with compatible starving receives.
+
+    A blocked receive is a candidate consumer of an unmatched send when
+    its tag pattern matches the send's tag, its source pattern matches
+    the sender, and it is not the process the message actually went to
+    (that process simply hasn't consumed it yet -- not "missed")."""
+    out: list[MissedMessage] = []
+    for send in unmatched_sends:
+        for wait in blocked:
+            if wait.kind is not WaitKind.RECV:
+                continue
+            tag_ok = wait.tag in (ANY_TAG, send.tag)
+            src_ok = wait.peer in (ANY_SOURCE, send.src)
+            went_elsewhere = wait.rank != send.dst
+            if tag_ok and src_ok and went_elsewhere:
+                out.append(MissedMessage(send=send, starving=wait))
+    return out
+
+
+def analyze_matching(
+    trace: Trace,
+    blocked: Optional[Sequence[WaitInfo]] = None,
+) -> MatchingReport:
+    """The full §4.4 first-level report for a trace (plus, when the
+    runtime's blocked-wait list is supplied, missed-message diagnoses)."""
+    report = MatchingReport(
+        unmatched_sends=trace.unmatched_sends(),
+        unmatched_recvs=trace.unmatched_recvs(),
+        intertwined=find_intertwined(trace),
+    )
+    if blocked:
+        report.missed = diagnose_missed_messages(report.unmatched_sends, blocked)
+    return report

@@ -1,0 +1,200 @@
+"""Message-race detection (paper §4.4, after Netzer et al. [15][17]).
+
+    "If however the program is multithreaded, then message racing can
+    occur.  In this case the user might want to turn on the race
+    detection feature of the debugger."
+
+In this runtime the only admissible nondeterminism is wildcard matching
+(``ANY_SOURCE``/``ANY_TAG``) -- single-threaded processes, as the paper
+assumes -- so a *message race* is: a wildcard receive for which some
+other send could have been delivered instead.  Two detectors:
+
+* :func:`detect_races` -- static, from one trace + its causal order: a
+  send races with a receive if it matches the receive's posted pattern
+  and is not causally after the receive (so some schedule could deliver
+  it there).  The posted pattern is captured by the wrapper library in
+  each receive record's ``extra``.
+* :func:`explore_schedules` -- empirical: rerun the program under many
+  seeded random schedules and report how many distinct matchings occur
+  (1 means no schedule-visible race for the seeds tried).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
+from repro.trace.events import TraceRecord
+from repro.trace.trace import Trace
+
+from .causality import CausalOrder, compute_causal_order
+
+
+@dataclass
+class MessageRace:
+    """A wildcard receive with alternative deliverable sends."""
+
+    recv: TraceRecord
+    matched_send: TraceRecord
+    alternatives: list[TraceRecord] = field(default_factory=list)
+
+    def describe(self) -> str:
+        alts = ", ".join(
+            f"{s.src}->{s.dst}#{s.seq}@{s.location.lineno}" for s in self.alternatives
+        )
+        return (
+            f"race at p{self.recv.proc} recv (marker {self.recv.marker}, "
+            f"{self.recv.location}): matched {self.matched_send.src}->"
+            f"{self.matched_send.dst}#{self.matched_send.seq}; "
+            f"could also match: {alts}"
+        )
+
+
+def _posted_pattern(rec: TraceRecord) -> tuple[int, int]:
+    """(posted source, posted tag) of a receive record, defaulting to the
+    resolved values when the wrapper didn't capture the pattern."""
+    src = rec.extra.get("posted_src", rec.src)
+    tag = rec.extra.get("posted_tag", rec.tag)
+    return src, tag
+
+
+def is_wildcard_recv(rec: TraceRecord) -> bool:
+    src, tag = _posted_pattern(rec)
+    return src == ANY_SOURCE or tag == ANY_TAG
+
+
+def detect_races(
+    trace: Trace,
+    order: Optional[CausalOrder] = None,
+    include_tag_wildcards: bool = True,
+) -> list[MessageRace]:
+    """All wildcard receives with at least one racing alternative.
+
+    A send ``s2`` races with receive ``r`` (matched to ``s``) when:
+
+    * ``s2 != s`` targets ``r``'s process and matches the posted
+      (source, tag) pattern, and
+    * ``r`` does not happen before ``s2`` -- i.e. ``s2`` does not
+      causally depend on the outcome of ``r``, so a different schedule
+      could have had ``s2``'s message available at ``r``.
+    """
+    if order is None:
+        order = compute_causal_order(trace)
+    pairs = {p.recv.index: p.send for p in trace.message_pairs()}
+    sends = [r for r in trace if r.is_send]
+    races: list[MessageRace] = []
+    for rec in trace:
+        if not rec.is_recv or not is_wildcard_recv(rec):
+            continue
+        psrc, ptag = _posted_pattern(rec)
+        if psrc != ANY_SOURCE and not include_tag_wildcards:
+            continue
+        matched = pairs.get(rec.index)
+        if matched is None:
+            continue
+        alternatives = []
+        for s2 in sends:
+            if s2.index == matched.index or s2.dst != rec.proc:
+                continue
+            if psrc not in (ANY_SOURCE, s2.src):
+                continue
+            if ptag not in (ANY_TAG, s2.tag):
+                continue
+            if not order.happens_before(rec.index, s2.index):
+                alternatives.append(s2)
+        if alternatives:
+            races.append(
+                MessageRace(recv=rec, matched_send=matched, alternatives=alternatives)
+            )
+    return races
+
+
+def steer_to_alternative(
+    base_log,
+    trace: Trace,
+    race: MessageRace,
+    alternative: TraceRecord,
+    order: Optional[CausalOrder] = None,
+):
+    """Build a forcing log that delivers ``alternative`` to the racing
+    receive -- deterministic exploration of the other side of a race.
+
+    The §4.2 machinery forces replays back to the *observed* matching;
+    steering turns the same mechanism into a what-if tool: replaying
+    under the returned log, the racing receive matches ``alternative``
+    instead of its original message.
+
+    Everything downstream of the steer point may legitimately diverge
+    (the master may hand out tasks in a different order, so later
+    matchings differ), so forcing is kept only for receives that
+    *happen before* the racing receive; everything else matches by the
+    normal rules.  Forced-entry/receive alignment assumes blocking
+    receives (completion order == post order per process); programs
+    built on out-of-order ``irecv`` completion should steer manually.
+
+    ``alternative`` must be one of ``race.alternatives``.
+    """
+    from repro.mp.message import Envelope
+    from repro.mp.record import CommLog
+
+    if alternative.index not in {a.index for a in race.alternatives}:
+        raise ValueError("alternative is not one of the race's candidates")
+    if order is None:
+        order = compute_causal_order(trace)
+
+    rank = race.recv.proc
+    alt_env = Envelope(
+        src=alternative.src,
+        dst=alternative.dst,
+        tag=alternative.tag,
+        seq=alternative.seq,
+        comm_id=alternative.extra.get("comm", 0),
+    )
+
+    # Align each rank's forced entries (sorted by post index) with its
+    # receive records in program order.
+    steered = CommLog()
+    race_entry_key = None
+    for r in range(trace.nprocs):
+        entries = sorted(
+            (idx, env) for (rr, idx), env in base_log.recv_matches.items() if rr == r
+        )
+        recvs = [rec for rec in trace.by_proc(r) if rec.is_recv]
+        for (idx, env), rec in zip(entries, recvs):
+            if rec.index == race.recv.index:
+                race_entry_key = (r, idx)
+            elif order.happens_before(rec.index, race.recv.index):
+                steered.recv_matches[(r, idx)] = env
+    if race_entry_key is None:
+        raise ValueError(
+            "the racing receive's matching is not in the base log"
+        )
+    steered.recv_matches[race_entry_key] = alt_env
+    # waitany choices: keep only those whose position is safely causal --
+    # conservatively, none (free choice downstream of a steer).
+    return steered
+
+
+def matching_fingerprint(comm_log) -> tuple:
+    """A hashable summary of one run's matching decisions."""
+    return tuple(
+        (rank, idx, env.src, env.tag, env.seq)
+        for (rank, idx), env in sorted(comm_log.recv_matches.items())
+    )
+
+
+def explore_schedules(program, nprocs: int, seeds=range(8)) -> dict[tuple, int]:
+    """Run under several random schedules; map matching fingerprints to
+    occurrence counts.  More than one key = schedule-sensitive matching
+    (an observed race)."""
+    from repro.mp.runtime import Runtime
+
+    seen: dict[tuple, int] = {}
+    for seed in seeds:
+        rt = Runtime(nprocs, policy="random", seed=seed)
+        rt.run(program)
+        rt.shutdown()
+        fp = matching_fingerprint(rt.comm_log)
+        seen[fp] = seen.get(fp, 0) + 1
+    return seen

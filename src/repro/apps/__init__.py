@@ -1,0 +1,56 @@
+"""``repro.apps`` -- the workload programs the paper evaluates on.
+
+* :mod:`~repro.apps.strassen` -- distributed Strassen multiply (Figures
+  3-7, Table 1), including the wrong-destination buggy variant.
+* :mod:`~repro.apps.fibonacci` -- recursive Fibonacci (Table 1 worst case).
+* :mod:`~repro.apps.lu` -- NAS-LU-like pipelined SSOR solver (Figure 8).
+* :mod:`~repro.apps.ring` -- ring / pingpong / halo / master-worker
+  microworkloads for tests and examples.
+
+Application code deliberately lives *outside* the runtime packages so
+the instrumentation layers treat it as user code (source locations in
+traces point here).
+"""
+
+from .fibonacci import distributed_fib_program, fib, fib_call_count, fib_program
+from .lu import LUConfig, local_residual, lu_program, make_rhs
+from .ring import halo_program, master_worker_program, pingpong_program, ring_program
+from .strassen import (
+    N_PRODUCTS,
+    TAG_OPERAND_A,
+    TAG_OPERAND_B,
+    TAG_RESULT,
+    StrassenConfig,
+    combine_products,
+    make_inputs,
+    reference_product,
+    split_quadrants,
+    strassen_operands,
+    strassen_program,
+)
+
+__all__ = [
+    "LUConfig",
+    "N_PRODUCTS",
+    "StrassenConfig",
+    "TAG_OPERAND_A",
+    "TAG_OPERAND_B",
+    "TAG_RESULT",
+    "combine_products",
+    "distributed_fib_program",
+    "fib",
+    "fib_call_count",
+    "fib_program",
+    "halo_program",
+    "local_residual",
+    "lu_program",
+    "make_inputs",
+    "make_rhs",
+    "master_worker_program",
+    "pingpong_program",
+    "reference_product",
+    "ring_program",
+    "split_quadrants",
+    "strassen_operands",
+    "strassen_program",
+]

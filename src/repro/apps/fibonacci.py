@@ -1,0 +1,62 @@
+"""Recursive Fibonacci -- the paper's instrumentation worst case.
+
+Table 1 instruments a "recursive Fibonacci function" (citing the
+software-instruction-counter paper [11]) as the call-dominated extreme:
+tens of millions of function calls doing almost no work each, so
+per-call monitoring overhead dominates (5.17s -> 20.98s on the paper's
+hardware).  The same shape holds here: a Python profile-hook monitor
+multiplies the runtime of ``fib`` by a small integer factor while
+leaving array-bound workloads untouched.
+"""
+
+from __future__ import annotations
+
+from repro.mp.comm import Comm
+
+TAG_FIB = 21
+
+
+def fib(n: int) -> int:
+    """The classic doubly-recursive Fibonacci (deliberately naive)."""
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+
+def fib_call_count(n: int) -> int:
+    """Number of ``fib`` invocations the recursion makes for ``n``.
+
+    Satisfies calls(n) = calls(n-1) + calls(n-2) + 1 = 2*fib(n+1) - 1,
+    the "number of calls" column of Table 1.
+    """
+    if n < 2:
+        return 1
+    return fib_call_count(n - 1) + fib_call_count(n - 2) + 1
+
+
+def fib_program(n: int):
+    """Single-rank program computing fib(n) (the Table 1 workload)."""
+
+    def prog(comm: Comm) -> int:
+        return fib(n)
+
+    return prog
+
+
+def distributed_fib_program(n: int):
+    """A 3-rank split: rank 0 delegates fib(n-1) and fib(n-2).
+
+    Not in the paper's table; used by tests and examples to mix heavy
+    recursion with message traffic in one trace.
+    """
+
+    def prog(comm: Comm):
+        if comm.rank == 0:
+            comm.send(n - 1, dest=1, tag=TAG_FIB)
+            comm.send(n - 2, dest=2, tag=TAG_FIB)
+            return comm.recv(source=1, tag=TAG_FIB) + comm.recv(source=2, tag=TAG_FIB)
+        k = comm.recv(source=0, tag=TAG_FIB)
+        comm.send(fib(k), dest=0, tag=TAG_FIB)
+        return None
+
+    return prog

@@ -1,0 +1,136 @@
+"""Small message-passing microworkloads used by tests and examples."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mp.comm import Comm
+from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mp.status import Status
+
+TAG_RING = 41
+TAG_PING = 42
+TAG_HALO = 43
+TAG_WORK = 44
+TAG_DONE = 45
+
+
+def ring_program(rounds: int = 1, payload: int = 1):
+    """A token circulates the ring ``rounds`` times, accumulating ranks.
+
+    Returns (at rank 0) the accumulated sum -- checkable as
+    ``rounds * sum(range(size))``.
+    """
+
+    def prog(comm: Comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        if comm.rank == 0:
+            token = np.zeros(payload)
+            for _ in range(rounds):
+                comm.send(token, dest=right, tag=TAG_RING)
+                token = comm.recv(source=left, tag=TAG_RING)
+            return float(token[0])
+        for _ in range(rounds):
+            token = comm.recv(source=left, tag=TAG_RING)
+            token[0] += comm.rank
+            comm.send(token, dest=right, tag=TAG_RING)
+        return None
+
+    return prog
+
+
+def pingpong_program(rounds: int = 4, size: int = 8):
+    """Two ranks exchange a buffer ``rounds`` times (latency probe)."""
+
+    def prog(comm: Comm):
+        if comm.size < 2:
+            raise ValueError("pingpong needs 2 ranks")
+        buf = np.arange(size, dtype=float)
+        if comm.rank == 0:
+            for _ in range(rounds):
+                comm.send(buf, dest=1, tag=TAG_PING)
+                buf = comm.recv(source=1, tag=TAG_PING)
+            return float(buf.sum())
+        if comm.rank == 1:
+            for _ in range(rounds):
+                buf = comm.recv(source=0, tag=TAG_PING)
+                comm.send(buf + 1.0, dest=0, tag=TAG_PING)
+        return None
+
+    return prog
+
+
+def halo_program(steps: int = 3, width: int = 4):
+    """1-D halo exchange: each rank averages with its neighbours.
+
+    A smoothing iteration whose fixed point is uniform, so tests can
+    check the spread shrinks monotonically.
+    """
+
+    def prog(comm: Comm):
+        value = np.full(width, float(comm.rank))
+        left = comm.rank - 1 if comm.rank > 0 else None
+        right = comm.rank + 1 if comm.rank < comm.size - 1 else None
+        for _ in range(steps):
+            if left is not None:
+                comm.send(value.copy(), dest=left, tag=TAG_HALO)
+            if right is not None:
+                comm.send(value.copy(), dest=right, tag=TAG_HALO)
+            lval = comm.recv(source=left, tag=TAG_HALO) if left is not None else value
+            rval = comm.recv(source=right, tag=TAG_HALO) if right is not None else value
+            value = (lval + value + rval) / 3.0
+            comm.compute(float(width))
+        return float(value.mean())
+
+    return prog
+
+
+def master_worker_program(n_tasks: int = 8, task_cost: float = 3.0,
+                          chunk: Optional[int] = None):
+    """Self-scheduling master/worker pool using ``ANY_SOURCE``.
+
+    The canonical wildcard-receive workload: results arrive in a
+    nondeterministic order, which is what the controlled-replay and
+    race-analysis machinery exists to tame.
+    """
+    del chunk  # reserved for a future chunked variant
+
+    def prog(comm: Comm):
+        if comm.size < 2:
+            raise ValueError("master/worker needs at least 2 ranks")
+        if comm.rank == 0:
+            results = {}
+            next_task = 0
+            outstanding = 0
+            # Prime one task per worker.
+            for w in range(1, comm.size):
+                if next_task < n_tasks:
+                    comm.send(next_task, dest=w, tag=TAG_WORK)
+                    next_task += 1
+                    outstanding += 1
+                else:
+                    comm.send(None, dest=w, tag=TAG_DONE)
+            while outstanding:
+                st = Status()
+                task_id, value = comm.recv(source=ANY_SOURCE, tag=TAG_WORK, status=st)
+                results[task_id] = value
+                outstanding -= 1
+                if next_task < n_tasks:
+                    comm.send(next_task, dest=st.source, tag=TAG_WORK)
+                    next_task += 1
+                    outstanding += 1
+                else:
+                    comm.send(None, dest=st.source, tag=TAG_DONE)
+            return [results[i] for i in sorted(results)]
+        while True:
+            st = Status()
+            task = comm.recv(source=0, tag=ANY_TAG, status=st)
+            if st.tag == TAG_DONE:
+                return None
+            comm.compute(task_cost * (1 + task % 3))
+            comm.send((task, task * task), dest=0, tag=TAG_WORK)
+
+    return prog

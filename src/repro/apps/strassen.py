@@ -1,0 +1,216 @@
+"""Distributed Strassen matrix multiplication -- the paper's workhorse.
+
+The paper's Figures 3-7 and Table 1 all use "an implementation of
+Strassen's matrix multiplication algorithm": process 0 forms the seven
+Strassen operand pairs, distributes them among the workers ("each send
+is shown as a separate message", so every worker receives **two**
+matrices per product), receives the partial results, and combines them
+into the final product.
+
+The buggy variant reproduces the Figure 5-7 debugging scenario: inside
+``matr_send`` the destination of the second operand is computed as
+``jres`` where it should be ``jres + 1`` (the paper: "the user will find
+that jres should be replaced by jres+1 in line 161").  Consequences on 8
+processes, exactly as in the figures:
+
+* workers 1-6 still receive two messages each (with mismatched operand
+  pairs), compute, and reply;
+* worker 7 receives only **one** message and blocks in its second
+  receive;
+* process 0's stray self-addressed message sits unreceived (the "missed
+  message");
+* after collecting six partial results, process 0 blocks receiving from
+  worker 7 -- "processes 0 and 7 are blocked in receives waiting for
+  data from each other" (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mp.comm import Comm
+
+#: Message tags: first operand, second operand, partial result.
+TAG_OPERAND_A = 11
+TAG_OPERAND_B = 12
+TAG_RESULT = 13
+
+#: Number of Strassen products (M1..M7).
+N_PRODUCTS = 7
+
+
+# ----------------------------------------------------------------------
+# the Strassen decomposition (local math, no communication)
+# ----------------------------------------------------------------------
+def split_quadrants(m: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(M11, M12, M21, M22) views of an even-sized square matrix."""
+    n = m.shape[0]
+    if m.shape[0] != m.shape[1] or n % 2:
+        raise ValueError(f"need an even square matrix, got shape {m.shape}")
+    h = n // 2
+    return m[:h, :h], m[:h, h:], m[h:, :h], m[h:, h:]
+
+
+def strassen_operands(a: np.ndarray, b: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+    """The seven (X_i, Y_i) pairs with M_i = X_i @ Y_i."""
+    a11, a12, a21, a22 = split_quadrants(a)
+    b11, b12, b21, b22 = split_quadrants(b)
+    return [
+        (a11 + a22, b11 + b22),  # M1
+        (a21 + a22, b11),        # M2
+        (a11, b12 - b22),        # M3
+        (a22, b21 - b11),        # M4
+        (a11 + a12, b22),        # M5
+        (a21 - a11, b11 + b12),  # M6
+        (a12 - a22, b21 + b22),  # M7
+    ]
+
+
+def combine_products(ms: list[np.ndarray]) -> np.ndarray:
+    """Assemble C from M1..M7."""
+    m1, m2, m3, m4, m5, m6, m7 = ms
+    c11 = m1 + m4 - m5 + m7
+    c12 = m3 + m5
+    c21 = m2 + m4
+    c22 = m1 - m2 + m3 + m6
+    top = np.hstack([c11, c12])
+    bottom = np.hstack([c21, c22])
+    return np.vstack([top, bottom])
+
+
+def multiply_block(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """The worker's local product (one Strassen submatrix multiply)."""
+    return x @ y
+
+
+def make_inputs(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic test matrices."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# the distributed program
+# ----------------------------------------------------------------------
+@dataclass
+class StrassenConfig:
+    """Parameters of one distributed Strassen run.
+
+    ``n`` is the full matrix size (must be even).  With ``nprocs`` = 8
+    each of the 7 products gets its own worker (the paper's Figure 3
+    setup); with fewer processes products are dealt round-robin to the
+    ``nprocs - 1`` workers (the paper's 4-process Table 1 setup).
+    ``buggy`` enables the wrong-destination bug.  ``compute_scale``
+    converts block FLOPs into virtual compute time.
+    """
+
+    n: int = 32
+    nprocs: int = 8
+    buggy: bool = False
+    seed: int = 0
+    compute_scale: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 2:
+            raise ValueError("strassen needs at least one worker (nprocs >= 2)")
+        if self.n % 2:
+            raise ValueError(f"matrix size must be even, got {self.n}")
+
+    @property
+    def n_workers(self) -> int:
+        return self.nprocs - 1
+
+    def worker_of_product(self, jres: int) -> int:
+        """Which rank computes product ``jres`` (correct assignment)."""
+        return 1 + (jres % self.n_workers)
+
+    def products_of_worker(self, rank: int) -> list[int]:
+        return [j for j in range(N_PRODUCTS) if self.worker_of_product(j) == rank]
+
+
+def matr_send(comm: Comm, cfg: StrassenConfig, operands) -> None:
+    """Distribute the seven operand pairs (two sends per product).
+
+    This is the paper's ``MatrSend``.  In the buggy variant the second
+    send computes its destination as ``jres % n_workers`` -- the analog
+    of writing ``jres`` for ``jres + 1`` at the paper's line 161 -- so
+    the second operand of each product goes one worker too low, and the
+    last worker never gets its second matrix.
+    """
+    for jres in range(N_PRODUCTS):
+        x, y = operands[jres]
+        dest_a = 1 + (jres % cfg.n_workers)
+        if cfg.buggy:
+            dest_b = jres % cfg.n_workers  # BUG: should be 1 + (jres % n_workers)
+        else:
+            dest_b = 1 + (jres % cfg.n_workers)
+        comm.send(x, dest=dest_a, tag=TAG_OPERAND_A)
+        comm.send(y, dest=dest_b, tag=TAG_OPERAND_B)
+
+
+def matr_combine(comm: Comm, cfg: StrassenConfig) -> np.ndarray:
+    """Collect the seven partial results (in product order) and combine."""
+    ms: list[Optional[np.ndarray]] = [None] * N_PRODUCTS
+    for jres in range(N_PRODUCTS):
+        worker = cfg.worker_of_product(jres)
+        jres_got, m = comm.recv(source=worker, tag=TAG_RESULT)
+        ms[jres_got] = m
+    assert all(m is not None for m in ms)
+    return combine_products(ms)  # type: ignore[arg-type]
+
+
+def strassen_master(comm: Comm, cfg: StrassenConfig) -> np.ndarray:
+    """Rank 0: decompose, distribute, collect, combine."""
+    a, b = make_inputs(cfg.n, cfg.seed)
+    operands = strassen_operands(a, b)
+    h = cfg.n // 2
+    comm.compute(cfg.compute_scale * 7 * h * h, label="form-operands")
+    matr_send(comm, cfg, operands)
+    c = matr_combine(comm, cfg)
+    comm.compute(cfg.compute_scale * 4 * h * h, label="combine")
+    return c
+
+
+def strassen_worker(comm: Comm, cfg: StrassenConfig) -> int:
+    """Ranks 1..n_workers: receive operand pairs, multiply, reply.
+
+    The short "unpack" compute right after the operand receives is the
+    "small vertical tick before a longer computation bar" of Figure 6:
+    workers that got both operands show it; the starved worker blocks in
+    its second receive and never does ("process 7 is missing that tick").
+    """
+    h = cfg.n // 2
+    done = 0
+    for jres in cfg.products_of_worker(comm.rank):
+        x = comm.recv(source=0, tag=TAG_OPERAND_A)
+        y = comm.recv(source=0, tag=TAG_OPERAND_B)
+        comm.compute(cfg.compute_scale * h, label="unpack")  # the tick
+        comm.compute(cfg.compute_scale * 2 * h**3, label="multiply")
+        m = multiply_block(x, y)
+        comm.send((jres, m), dest=0, tag=TAG_RESULT)
+        done += 1
+    return done
+
+
+def strassen_program(cfg: StrassenConfig):
+    """The SPMD entry point for :func:`repro.mp.run_program`."""
+
+    def prog(comm: Comm):
+        if comm.rank == 0:
+            return strassen_master(comm, cfg)
+        if comm.rank <= cfg.n_workers:
+            return strassen_worker(comm, cfg)
+        return None
+
+    return prog
+
+
+def reference_product(cfg: StrassenConfig) -> np.ndarray:
+    """The answer the distributed run must reproduce."""
+    a, b = make_inputs(cfg.n, cfg.seed)
+    return a @ b

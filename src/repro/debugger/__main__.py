@@ -1,0 +1,128 @@
+"""Interactive command-line debugger: ``python -m repro.debugger``.
+
+Loads an SPMD program from a Python file and drives it through the
+:class:`~repro.debugger.commands.CommandInterpreter` -- the closest this
+reproduction gets to sitting in front of p2d2:
+
+    python -m repro.debugger my_program.py --nprocs 4
+    (p2d2) run
+    (p2d2) states
+    (p2d2) stopline 12
+    (p2d2) replay
+    (p2d2) step 0
+    (p2d2) backtrace 0
+    (p2d2) quit
+
+The program file must define a callable taking one argument (the
+communicator); by default the entry point is ``main``, overridable with
+``--entry``.  ``--uinst`` additionally instruments every function defined
+in the program file (function-entry markers), and ``--command/-c`` runs
+commands non-interactively.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import types
+from pathlib import Path
+
+from .commands import CommandError, CommandInterpreter
+from .session import DebugSession
+
+PROMPT = "(p2d2) "
+
+
+def load_program(path: Path, entry: str) -> tuple[types.ModuleType, object]:
+    """Import ``path`` as a module and return (module, entry callable)."""
+    source = path.read_text()
+    module = types.ModuleType(path.stem)
+    module.__dict__["__file__"] = str(path)
+    code = compile(source, str(path), "exec")
+    exec(code, module.__dict__)
+    target = module.__dict__.get(entry)
+    if not callable(target):
+        raise SystemExit(
+            f"error: {path} does not define a callable {entry!r} "
+            f"(use --entry to pick another)"
+        )
+    return module, target
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.debugger",
+        description="Trace-driven debugger for simulated message-passing "
+        "programs (p2d2 reproduction).",
+    )
+    parser.add_argument("program", type=Path, help="Python file with the SPMD program")
+    parser.add_argument("--nprocs", "-n", type=int, default=4,
+                        help="number of simulated processes (default 4)")
+    parser.add_argument("--entry", default="main",
+                        help="entry function name (default: main)")
+    parser.add_argument("--policy", default="run_to_block",
+                        choices=["run_to_block", "round_robin", "virtual_time", "random"],
+                        help="scheduling policy")
+    parser.add_argument("--seed", type=int, default=0, help="scheduling seed")
+    parser.add_argument("--uinst", action="store_true",
+                        help="instrument every function in the program file")
+    parser.add_argument("--command", "-c", action="append", default=[],
+                        help="run this command and exit (repeatable)")
+    return parser
+
+
+def repl(interp: CommandInterpreter, lines, out=sys.stdout, echo: bool = False) -> None:
+    """Feed command lines (an iterable) to the interpreter."""
+    for raw in lines:
+        line = raw.strip()
+        if echo:
+            print(f"{PROMPT}{line}", file=out)
+        if line in ("quit", "exit", "q"):
+            return
+        try:
+            result = interp.execute(line)
+        except CommandError as exc:
+            result = f"error: {exc}"
+        except Exception as exc:  # noqa: BLE001 - surface, keep REPL alive
+            result = f"internal error: {type(exc).__name__}: {exc}"
+        if result:
+            print(result, file=out)
+
+
+def _stdin_lines():
+    """Prompted line iterator over stdin (EOF ends the session)."""
+    while True:
+        try:
+            yield input(PROMPT)
+        except EOFError:
+            return
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    module, target = load_program(args.program, args.entry)
+    uinst_modules = [module] if args.uinst else []
+    session = DebugSession(
+        target,
+        args.nprocs,
+        policy=args.policy,
+        seed=args.seed,
+        uinst_modules=uinst_modules,
+    )
+    interp = CommandInterpreter(session)
+    print(
+        f"loaded {args.program} ({args.entry}) on {args.nprocs} simulated "
+        f"processes -- type 'help' for commands, 'quit' to leave"
+    )
+    try:
+        if args.command:
+            repl(interp, args.command, echo=True)
+        else:
+            repl(interp, _stdin_lines())
+    finally:
+        session.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,267 @@
+"""Location breakpoints -- the conventional half of the debugger.
+
+p2d2's standard operations [5] include per-process breakpoints; the
+trace-driven features of this paper layer marker thresholds on top.
+This module provides the conventional kind: stop when an
+instrumentation point is generated at a matching source location
+(file:line, function name, or an arbitrary predicate), optionally
+restricted to a rank subset, with hit counting and ignore counts.
+
+A breakpoint fires *at an instrumentation point*, so its effective
+granularity is whatever instrumentation is installed: communication
+constructs under the wrapper library, every user function entry under
+uinst, down to loops under AIMS source instrumentation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.mp.datatypes import SourceLocation
+from repro.mp.locutil import is_infrastructure_file
+from repro.mp.process import Process
+from repro.mp.runtime import Runtime
+
+_bp_ids = itertools.count(1)
+
+Predicate = Callable[[Process, SourceLocation], bool]
+
+
+@dataclass
+class Breakpoint:
+    """One registered breakpoint."""
+
+    bp_id: int
+    predicate: Predicate
+    description: str
+    ranks: Optional[frozenset[int]] = None
+    enabled: bool = True
+    ignore_count: int = 0
+    hits: int = 0
+    #: (rank, marker) of each firing, for inspection
+    hit_log: list[tuple[int, int]] = field(default_factory=list)
+
+    def matches(self, proc: Process, loc: SourceLocation) -> bool:
+        if not self.enabled:
+            return False
+        if self.ranks is not None and proc.rank not in self.ranks:
+            return False
+        return self.predicate(proc, loc)
+
+    def fire(self, proc: Process) -> bool:
+        """Count a match; True if the process should actually stop."""
+        self.hits += 1
+        if self.ignore_count > 0:
+            self.ignore_count -= 1
+            return False
+        self.hit_log.append((proc.rank, proc.marker))
+        return True
+
+
+_MISSING = object()
+
+
+@dataclass
+class Watchpoint:
+    """A data watchpoint over a local variable.
+
+    The software-instruction-counter work the paper builds on [11] used
+    marker counting "for replaying parallel programs and for organizing
+    watchpoints"; this is that second use.  At every instrumentation
+    point the manager searches the process's live user frames
+    (innermost first) for a local named ``var``; the watchpoint fires
+    when the value satisfies ``predicate`` or -- in change mode -- when
+    its repr differs from the previously observed one.
+
+    Granularity caveat (inherent to marker-based watchpoints): changes
+    are only *observed* at instrumentation points, so a value that
+    changes and changes back between markers is missed -- exactly the
+    resolution trade-off of Section 2.
+    """
+
+    wp_id: int
+    var: str
+    predicate: Optional[Callable[[Any], bool]]
+    on_change: bool
+    ranks: Optional[frozenset[int]] = None
+    enabled: bool = True
+    hits: int = 0
+    #: rank -> last observed repr (change mode)
+    last_seen: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def description(self) -> str:
+        mode = "change" if self.on_change else "predicate"
+        return f"watch {self.var} ({mode})"
+
+    def evaluate(self, proc: Process, value: Any) -> bool:
+        """Did the watchpoint fire for this observation?"""
+        if self.on_change:
+            current = repr(value)[:200]
+            previous = self.last_seen.get(proc.rank)
+            self.last_seen[proc.rank] = current
+            fired = previous is not None and previous != current
+        else:
+            assert self.predicate is not None
+            fired = bool(self.predicate(value))
+        if fired:
+            self.hits += 1
+        return fired
+
+
+def _find_user_local(var: str) -> Any:
+    """Search the calling thread's user frames, innermost first, for a
+    local named ``var``; returns ``_MISSING`` if absent everywhere."""
+    frame = sys._getframe(1)
+    depth = 0
+    while frame is not None and depth < 100:
+        if not is_infrastructure_file(frame.f_code.co_filename):
+            if var in frame.f_locals:
+                return frame.f_locals[var]
+        frame = frame.f_back
+        depth += 1
+    return _MISSING
+
+
+class BreakpointManager:
+    """Registers breakpoints and watchpoints, hooked into every process."""
+
+    def __init__(self, runtime: Runtime) -> None:
+        if not runtime.procs:
+            raise RuntimeError("attach BreakpointManager after Runtime.launch()")
+        self.runtime = runtime
+        self._breakpoints: dict[int, Breakpoint] = {}
+        self._watchpoints: dict[int, Watchpoint] = {}
+        for proc in runtime.procs:
+            proc.marker_hooks.append(self._hook)
+        #: bp_id/wp_id of the most recent firing (debugger UI convenience)
+        self.last_hit: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _hook(self, proc: Process, loc: SourceLocation, args: tuple) -> None:
+        del args
+        for bp in self._breakpoints.values():
+            if bp.matches(proc, loc) and bp.fire(proc):
+                self.last_hit = bp.bp_id
+                proc.stop.breakpoint_hit = True
+                return
+        for wp in self._watchpoints.values():
+            if not wp.enabled:
+                continue
+            if wp.ranks is not None and proc.rank not in wp.ranks:
+                continue
+            value = _find_user_local(wp.var)
+            if value is _MISSING:
+                continue
+            if wp.evaluate(proc, value):
+                self.last_hit = wp.wp_id
+                proc.stop.breakpoint_hit = True
+                return
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _add(
+        self,
+        predicate: Predicate,
+        description: str,
+        ranks: Optional[Sequence[int]],
+        ignore_count: int,
+    ) -> Breakpoint:
+        bp = Breakpoint(
+            bp_id=next(_bp_ids),
+            predicate=predicate,
+            description=description,
+            ranks=frozenset(ranks) if ranks is not None else None,
+            ignore_count=ignore_count,
+        )
+        self._breakpoints[bp.bp_id] = bp
+        return bp
+
+    def break_at_line(
+        self,
+        filename_suffix: str,
+        lineno: int,
+        ranks: Optional[Sequence[int]] = None,
+        ignore_count: int = 0,
+    ) -> Breakpoint:
+        """Stop at instrumentation points on ``*filename_suffix:lineno``."""
+
+        def pred(proc: Process, loc: SourceLocation) -> bool:
+            return loc.lineno == lineno and loc.filename.endswith(filename_suffix)
+
+        return self._add(
+            pred, f"{filename_suffix}:{lineno}", ranks, ignore_count
+        )
+
+    def break_at_function(
+        self,
+        function: str,
+        ranks: Optional[Sequence[int]] = None,
+        ignore_count: int = 0,
+    ) -> Breakpoint:
+        """Stop at instrumentation points inside ``function``."""
+
+        def pred(proc: Process, loc: SourceLocation) -> bool:
+            return loc.function == function
+
+        return self._add(pred, f"function {function}", ranks, ignore_count)
+
+    def break_when(
+        self,
+        predicate: Predicate,
+        description: str = "<predicate>",
+        ranks: Optional[Sequence[int]] = None,
+        ignore_count: int = 0,
+    ) -> Breakpoint:
+        """Arbitrary predicate breakpoint (Paradyn-style assertion)."""
+        return self._add(predicate, description, ranks, ignore_count)
+
+    # ------------------------------------------------------------------
+    # watchpoints
+    # ------------------------------------------------------------------
+    def watch_local(
+        self,
+        var: str,
+        predicate: Optional[Callable[[Any], bool]] = None,
+        ranks: Optional[Sequence[int]] = None,
+    ) -> Watchpoint:
+        """Watch a user local: stop when ``predicate(value)`` holds, or
+        -- with no predicate -- whenever the value changes between
+        instrumentation points."""
+        wp = Watchpoint(
+            wp_id=next(_bp_ids),
+            var=var,
+            predicate=predicate,
+            on_change=predicate is None,
+            ranks=frozenset(ranks) if ranks is not None else None,
+        )
+        self._watchpoints[wp.wp_id] = wp
+        return wp
+
+    def remove_watchpoint(self, wp_id: int) -> bool:
+        return self._watchpoints.pop(wp_id, None) is not None
+
+    def watchpoints(self) -> list[Watchpoint]:
+        return sorted(self._watchpoints.values(), key=lambda w: w.wp_id)
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def get(self, bp_id: int) -> Breakpoint:
+        return self._breakpoints[bp_id]
+
+    def remove(self, bp_id: int) -> bool:
+        return self._breakpoints.pop(bp_id, None) is not None
+
+    def clear(self) -> None:
+        self._breakpoints.clear()
+
+    def list(self) -> list[Breakpoint]:
+        return sorted(self._breakpoints.values(), key=lambda b: b.bp_id)
+
+    def __len__(self) -> int:
+        return len(self._breakpoints)

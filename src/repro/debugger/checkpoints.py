@@ -1,0 +1,97 @@
+"""Checkpointing with a logarithmic backlog (paper §6 future work).
+
+    "We could improve on this by periodically checkpointing program
+    states and keeping a logarithmic backlog of process states."
+
+In the simulator a process's Python state cannot be snapshotted
+generically, so a checkpoint is a *marker vector* plus the communication
+log prefix needed to replay to it; the saving comes from the replay
+engine's ``record_from`` fast-skip (instrumentation recording stays off
+until the checkpoint, which is where the real-world cost concentrates).
+Applications may additionally register cooperative state snapshots for
+inspection.
+
+The *logarithmic backlog* keeps the stored checkpoints exponentially
+spaced looking backwards: after many stops, you retain ~log(n)
+checkpoints -- dense near the present, sparse in the deep past --
+bounding memory while keeping any undo target within a factor-2 replay
+of some retained checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.trace.markers import MarkerVector
+
+
+@dataclass
+class Checkpoint:
+    """One retained stop: marker vector + optional app-state snapshots."""
+
+    seq: int  # stop sequence number (monotone)
+    markers: MarkerVector
+    app_state: dict[int, Any] = field(default_factory=dict)
+
+    def total_progress(self) -> int:
+        """Sum of marker counters (a scalar 'how far' measure)."""
+        return sum(self.markers[r] for r in self.markers)
+
+
+class LogBacklog:
+    """Exponentially-thinned checkpoint store.
+
+    Retention rule: a checkpoint with sequence number ``s`` survives
+    while ``s`` is a multiple of the largest power of two not exceeding
+    its age bucket -- concretely, we keep the most recent ``base``
+    checkpoints, every 2nd of the next ``base``, every 4th beyond that,
+    and so on.  Total retained is O(base * log(n)).
+    """
+
+    def __init__(self, base: int = 4) -> None:
+        if base < 1:
+            raise ValueError("base must be >= 1")
+        self.base = base
+        self._checkpoints: list[Checkpoint] = []
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    def add(self, markers: MarkerVector, app_state: Optional[dict[int, Any]] = None) -> Checkpoint:
+        cp = Checkpoint(self._next_seq, markers, app_state or {})
+        self._next_seq += 1
+        self._checkpoints.append(cp)
+        self._thin()
+        return cp
+
+    def _thin(self) -> None:
+        newest = self._next_seq - 1
+        kept: list[Checkpoint] = []
+        for cp in self._checkpoints:
+            age = newest - cp.seq
+            bucket = age // self.base  # 0: keep all, 1: every 2nd, ...
+            stride = 1 << min(bucket, 30)
+            if cp.seq % stride == 0 or age < self.base:
+                kept.append(cp)
+        self._checkpoints = kept
+
+    # ------------------------------------------------------------------
+    def checkpoints(self) -> list[Checkpoint]:
+        return list(self._checkpoints)
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def nearest_before(self, target: MarkerVector) -> Optional[Checkpoint]:
+        """The most advanced retained checkpoint a replay toward
+        ``target`` may start recording from: its markers must not exceed
+        the target on any constrained rank (i.e. target dominates it)."""
+        best: Optional[Checkpoint] = None
+        for cp in self._checkpoints:
+            if target.dominates(cp.markers):
+                if best is None or cp.total_progress() > best.total_progress():
+                    best = cp
+        return best
+
+    def latest(self) -> Optional[Checkpoint]:
+        return self._checkpoints[-1] if self._checkpoints else None

@@ -1,0 +1,165 @@
+"""Controlled replay (paper §4.1-§4.2).
+
+    "When the user requests a re-execution, the debugger restarts the
+    computation, and as part of that, stores the execution markers in
+    the UserMonitor threshold variables ...  When the routine generates
+    an execution marker equal to the threshold value, it triggers a
+    debugger-set breakpoint."
+
+A replay is a *fresh execution* of the same program (the paper: "our
+current implementation of replay and undo is done in straightforward
+manner by re-executing until an execution marker threshold is
+encountered") with two controls applied:
+
+* the previous run's :class:`~repro.mp.record.CommLog` forces every
+  wildcard receive and ``waitany`` to its recorded outcome (§4.2
+  nondeterminism control), making the re-execution event-equivalent;
+* a :class:`~repro.trace.markers.MarkerVector` of thresholds parks each
+  process at the stopline.
+
+:class:`ReplaySpec` captures everything needed to rebuild the execution
+(program, nprocs, policy, seed, cost model, instrumentation choices);
+:func:`execute_replay` performs one controlled re-execution and returns
+the new runtime + instrumentation, leaving the caller (the debug
+session) in charge from the stop onward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.instrument.uinst import Uinst
+from repro.instrument.wrappers import WrapperLibrary, lifecycle_wrapper
+from repro.mp.clock import CostModel
+from repro.mp.record import CommLog
+from repro.mp.runtime import ProgramSpec, Runtime
+from repro.mp.scheduler import RunReport
+from repro.trace.markers import MarkerVector
+from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class ReplaySpec:
+    """Everything needed to re-create an execution deterministically."""
+
+    program: ProgramSpec
+    nprocs: int
+    policy: str = "run_to_block"
+    seed: int = 0
+    cost_model: Optional[CostModel] = None
+    #: functions / modules to instrument with uinst (function entries)
+    uinst_functions: Sequence[Callable] = ()
+    uinst_modules: Sequence[Any] = ()
+    lifecycle_records: bool = True
+
+
+@dataclass
+class ReplayExecution:
+    """A live (re-)execution: the runtime plus its instrumentation."""
+
+    runtime: Runtime
+    recorder: TraceRecorder
+    wrapper_lib: WrapperLibrary
+    uinst: Optional[Uinst] = None
+    report: Optional[RunReport] = None
+    #: markers each process should fast-record from (checkpoint skip)
+    record_from: Optional[MarkerVector] = None
+
+
+def build_execution(
+    spec: ReplaySpec,
+    replay_log: Optional[CommLog] = None,
+    record_from: Optional[MarkerVector] = None,
+) -> ReplayExecution:
+    """Construct and launch (but do not run) an execution of ``spec``.
+
+    ``record_from`` implements the checkpoint fast-skip: trace recording
+    for each rank stays off until its marker counter reaches the given
+    value, making replays to deep stoplines cheaper (the §6 checkpoint
+    extension, adapted: state cannot be snapshotted, but the expensive
+    part of a replay -- instrumentation recording -- can be skipped).
+    """
+    runtime = Runtime(
+        spec.nprocs,
+        policy=spec.policy,
+        seed=spec.seed,
+        cost_model=spec.cost_model,
+        replay_log=replay_log,
+    )
+    recorder = TraceRecorder(spec.nprocs)
+    wrapper_lib = WrapperLibrary(runtime, recorder)
+    wrappers = []
+    uinst = None
+    if spec.uinst_functions or spec.uinst_modules:
+        uinst = Uinst(runtime, recorder)
+        for fn in spec.uinst_functions:
+            uinst.register_function(fn)
+        for mod in spec.uinst_modules:
+            uinst.register_module(mod)
+        wrappers.append(uinst.target_wrapper())
+    if spec.lifecycle_records:
+        wrappers.append(lifecycle_wrapper(recorder))
+    runtime.launch(spec.program, target_wrappers=wrappers)
+
+    if record_from is not None and len(record_from):
+        _install_record_gates(runtime, recorder, record_from)
+
+    return ReplayExecution(
+        runtime=runtime,
+        recorder=recorder,
+        wrapper_lib=wrapper_lib,
+        uinst=uinst,
+        record_from=record_from,
+    )
+
+
+def _install_record_gates(
+    runtime: Runtime, recorder: TraceRecorder, record_from: MarkerVector
+) -> None:
+    """Disable recording per rank until its marker reaches the gate."""
+    for proc in runtime.procs:
+        gate = record_from.get(proc.rank)
+        if gate is None or gate <= 0:
+            continue
+        recorder.set_enabled(False, proc=proc.rank)
+
+        def hook(p, loc, args, _gate=gate):
+            if p.marker >= _gate and not recorder.is_enabled(p.rank):
+                recorder.set_enabled(True, proc=p.rank)
+
+        proc.marker_hooks.append(hook)
+
+
+def execute_replay(
+    spec: ReplaySpec,
+    replay_log: CommLog,
+    thresholds: MarkerVector,
+    record_from: Optional[MarkerVector] = None,
+) -> ReplayExecution:
+    """One controlled replay: rebuild, program thresholds, run to stop.
+
+    Returns the execution with ``report`` filled; the caller owns
+    shutdown.  Processes without a threshold run until they exit or
+    block (they were past their last marker at the stopline).
+    """
+    execution = build_execution(spec, replay_log, record_from)
+    execution.runtime.set_thresholds(thresholds.as_dict())
+    execution.report = execution.runtime.run_until_idle()
+    return execution
+
+
+def replay_matches_markers(
+    execution: ReplayExecution, thresholds: MarkerVector
+) -> bool:
+    """Did every thresholded process stop exactly at its marker?
+
+    Processes that exited or blocked before reaching the threshold
+    return False -- the stopline lay beyond reachable history (e.g. a
+    threshold past a deadlock).
+    """
+    for rank in thresholds:
+        proc = execution.runtime.procs[rank]
+        if proc.marker != thresholds[rank]:
+            return False
+    return True

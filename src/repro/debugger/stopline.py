@@ -1,0 +1,153 @@
+"""Stoplines: breakpoints in the timeline (paper §3.1, §4.1).
+
+    "This combination of features permits p2d2 to implement a stopline,
+    that is, a breakpoint in the timeline.  When the user requests one
+    at a particular point, the debugger can find out the corresponding
+    execution markers for each of the processes ... When execution is
+    replayed, the execution markers tell the debugger when to stop each
+    of the processes."
+
+A stopline is computed from a trace plus a selected point and yields a
+:class:`~repro.trace.markers.MarkerVector` of per-process thresholds.
+Three placements:
+
+* ``vertical`` -- the Figure 2/6 vertical slice at the selected event's
+  start time.  Consistent because trace causality guarantees no message
+  crosses a time slice backwards ("the stopline passes through a
+  concurrent set of events").
+* ``past`` / ``future`` -- the §4.1 frontier placements: stop each
+  process immediately after the last event that could affect the
+  selected state, or immediately before the first event it could
+  affect.
+
+Thresholds follow the UserMonitor convention: a process parks when its
+counter *reaches* the threshold, i.e. before executing the construct
+bearing that marker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.causality import CausalOrder
+from repro.analysis.frontiers import analyze_frontiers
+from repro.trace.events import TraceRecord
+from repro.trace.markers import MarkerVector
+from repro.trace.trace import Trace
+
+
+class StoplinePlacement(enum.Enum):
+    VERTICAL = "vertical"
+    PAST_FRONTIER = "past"
+    FUTURE_FRONTIER = "future"
+
+
+@dataclass
+class Stopline:
+    """A computed stopline: the selected point plus per-rank thresholds.
+
+    ``time`` is where the indicator line is drawn in the time-space
+    display; ``thresholds`` is what the replay programs into the
+    UserMonitor threshold variables.
+    """
+
+    placement: StoplinePlacement
+    time: float
+    anchor: Optional[TraceRecord]
+    thresholds: MarkerVector
+
+    def describe(self) -> str:
+        parts = [f"stopline ({self.placement.value}) at t={self.time:.2f}"]
+        if self.anchor is not None:
+            parts.append(
+                f"anchored on p{self.anchor.proc} marker {self.anchor.marker}"
+            )
+        parts.append(
+            "thresholds: "
+            + ", ".join(f"p{r}:{self.thresholds[r]}" for r in self.thresholds)
+        )
+        return "; ".join(parts)
+
+
+def vertical_stopline_at_time(trace: Trace, time: float) -> Stopline:
+    """A vertical stopline at an arbitrary time (no anchoring event).
+
+    Each process stops before its first construct *not yet completed*
+    at ``time`` (a receive that was still blocked at the slice is
+    re-executed and blocks again -- the replayed state matches the
+    original).  Processes whose trace ends earlier get no threshold: a
+    replay lets them run to completion, which is where they were.
+    The resulting cut is consistent by construction: every included
+    event completed by ``time``, and trace causality puts each included
+    receive's send no later than the receive.
+    """
+    thresholds: dict[int, int] = {}
+    for p in range(trace.nprocs):
+        rec = trace.first_ending_after(p, time)
+        if rec is not None:
+            thresholds[p] = rec.marker
+    return Stopline(
+        placement=StoplinePlacement.VERTICAL,
+        time=time,
+        anchor=None,
+        thresholds=MarkerVector(thresholds),
+    )
+
+
+def compute_stopline(
+    trace: Trace,
+    event_index: int,
+    placement: StoplinePlacement = StoplinePlacement.VERTICAL,
+    order: Optional[CausalOrder] = None,
+) -> Stopline:
+    """Stopline for a selected event (the user's click).
+
+    ``vertical`` slices at the event's start time; the selected process
+    is pinned to stop exactly at the selected construct.  ``past`` /
+    ``future`` use the frontier thresholds of
+    :class:`~repro.analysis.frontiers.FrontierAnalysis`.
+    """
+    anchor = trace[event_index]
+    if placement is StoplinePlacement.VERTICAL:
+        sl = vertical_stopline_at_time(trace, anchor.t0)
+        merged = sl.thresholds.as_dict()
+        merged[anchor.proc] = anchor.marker
+        return Stopline(
+            placement=placement,
+            time=anchor.t0,
+            anchor=anchor,
+            thresholds=MarkerVector(merged),
+        )
+    analysis = analyze_frontiers(trace, event_index, order)
+    if placement is StoplinePlacement.PAST_FRONTIER:
+        thresholds = analysis.past_stopline()
+    else:
+        thresholds = analysis.future_stopline()
+    return Stopline(
+        placement=placement,
+        time=anchor.t0,
+        anchor=anchor,
+        thresholds=MarkerVector(thresholds),
+    )
+
+
+def verify_stopline_consistency(trace: Trace, stopline: Stopline) -> bool:
+    """Check the §4.1 consistency argument on the achieved cut.
+
+    The cut "everything with marker < threshold per process" must not
+    contain a receive whose send lies outside -- no message into the cut
+    from beyond the stopline.
+    """
+    thresholds = stopline.thresholds
+    included: set[int] = set()
+    for p in range(trace.nprocs):
+        limit = thresholds.get(p)
+        for rec in trace.by_proc(p):
+            if limit is None or rec.marker < limit:
+                included.add(rec.index)
+    for pair in trace.message_pairs():
+        if pair.recv.index in included and pair.send.index not in included:
+            return False
+    return True

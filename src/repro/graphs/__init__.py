@@ -1,0 +1,61 @@
+"""``repro.graphs`` -- graph abstractions of the execution history.
+
+* :mod:`~repro.graphs.tracegraph` -- the trace graph (§3.2): function +
+  channel nodes, call + message arcs, dissemination size control, zoom
+  reconstruction by trace rescan.
+* :mod:`~repro.graphs.callgraph` -- dynamic call graphs (Figure 9).
+* :mod:`~repro.graphs.commgraph` -- communication graphs (Figure 4):
+  nodes are matched message pairs, arcs are message causality.
+* :mod:`~repro.graphs.actions` -- action graphs (§4.4): coarse,
+  comprehensible summaries of each function's activity.
+* :mod:`~repro.graphs.export` -- VCG (xvcg) and DOT writers.
+"""
+
+from .actions import Action, ActionGraph, ActionKind, build_action_graph
+from .callgraph import CallEdge, CallGraph, build_call_graph
+from .commgraph import CommGraph, CommNode, build_comm_graph
+from .export import (
+    call_graph_to_dot,
+    call_graph_to_vcg,
+    comm_graph_to_dot,
+    comm_graph_to_vcg,
+    trace_graph_to_dot,
+    trace_graph_to_vcg,
+)
+from .tracegraph import (
+    ROOT_FUNCTION,
+    Arc,
+    ArcKind,
+    ChannelNode,
+    FunctionNode,
+    TraceGraph,
+    iter_channel_traffic,
+    projection,
+)
+
+__all__ = [
+    "Action",
+    "ActionGraph",
+    "ActionKind",
+    "Arc",
+    "ArcKind",
+    "CallEdge",
+    "CallGraph",
+    "ChannelNode",
+    "CommGraph",
+    "CommNode",
+    "FunctionNode",
+    "ROOT_FUNCTION",
+    "TraceGraph",
+    "build_action_graph",
+    "build_call_graph",
+    "build_comm_graph",
+    "call_graph_to_dot",
+    "call_graph_to_vcg",
+    "comm_graph_to_dot",
+    "comm_graph_to_vcg",
+    "iter_channel_traffic",
+    "projection",
+    "trace_graph_to_dot",
+    "trace_graph_to_vcg",
+]

@@ -1,0 +1,148 @@
+"""Action graphs -- the first level of history analysis (§4.4).
+
+    "The first level of analysis is done at the level of the call graph.
+    For every function, the calls made while the function is active are
+    classified into actions and the call graph is transformed into
+    actions graph.  The action graph represents history with less
+    resolution than the time-space diagram and makes it more
+    understandable."
+
+We classify each function activation's direct children (communication
+events, compute phases, and calls) into *actions*: maximal runs of
+same-category activity.  A run of sends becomes one ``distribute``
+action, a run of receives one ``collect``, computation one ``compute``,
+and calls one ``call:<callee>`` action.  The graph maps each function to
+its action sequence with occurrence counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.trace.events import EventKind
+from repro.trace.trace import Trace
+
+from .tracegraph import ROOT_FUNCTION
+
+
+class ActionKind(enum.Enum):
+    DISTRIBUTE = "distribute"  # a run of sends
+    COLLECT = "collect"  # a run of receives
+    SYNC = "sync"  # collectives
+    COMPUTE = "compute"
+    CALL = "call"
+
+
+def _category(kind: EventKind) -> "ActionKind | None":
+    from repro.trace.events import COLLECTIVE_KINDS, RECV_KINDS, SEND_KINDS
+
+    if kind in SEND_KINDS:
+        return ActionKind.DISTRIBUTE
+    if kind in RECV_KINDS:
+        return ActionKind.COLLECT
+    if kind in COLLECTIVE_KINDS:
+        return ActionKind.SYNC
+    if kind is EventKind.COMPUTE:
+        return ActionKind.COMPUTE
+    if kind is EventKind.FUNC_ENTRY:
+        return ActionKind.CALL
+    return None
+
+
+@dataclass(frozen=True)
+class Action:
+    """One classified activity run inside a function activation."""
+
+    kind: ActionKind
+    detail: str  # peer set, callee name, or compute label
+    count: int  # events folded into the run
+    t0: float
+    t1: float
+
+    def __str__(self) -> str:
+        core = f"{self.kind.value}"
+        if self.detail:
+            core += f"({self.detail})"
+        if self.count > 1:
+            core += f" x{self.count}"
+        return core
+
+
+@dataclass
+class ActionGraph:
+    """function name -> list of action sequences (one per activation)."""
+
+    proc: int
+    activations: dict[str, list[list[Action]]] = field(default_factory=dict)
+
+    def actions_of(self, function: str) -> list[list[Action]]:
+        return self.activations.get(function, [])
+
+    def summary(self, function: str) -> list[str]:
+        """The typical action sequence of a function (first activation)."""
+        seqs = self.actions_of(function)
+        return [str(a) for a in seqs[0]] if seqs else []
+
+    def as_text(self) -> str:
+        lines = [f"action graph (proc {self.proc})"]
+        for fn in sorted(self.activations):
+            for i, seq in enumerate(self.activations[fn]):
+                chain = " ; ".join(str(a) for a in seq) or "(no actions)"
+                lines.append(f"  {fn}#{i}: {chain}")
+        return "\n".join(lines)
+
+
+def build_action_graph(trace: Trace, proc: int) -> ActionGraph:
+    """Classify each function activation's direct children into actions."""
+    graph = ActionGraph(proc)
+    # Frame stack: (function name, list of (category, detail, record)).
+    stack: list[tuple[str, list[tuple[ActionKind, str, object]]]] = [
+        (ROOT_FUNCTION, [])
+    ]
+
+    def close_frame() -> None:
+        fn, raw = stack.pop()
+        graph.activations.setdefault(fn, []).append(_fold_runs(raw))
+
+    for rec in trace.by_proc(proc):
+        cat = _category(rec.kind)
+        if rec.kind is EventKind.FUNC_ENTRY:
+            stack[-1][1].append((ActionKind.CALL, rec.location.function, rec))
+            stack.append((rec.location.function, []))
+        elif rec.kind is EventKind.FUNC_EXIT:
+            if len(stack) > 1:
+                close_frame()
+        elif cat is not None:
+            detail = rec.extra.get("label", "") if cat is ActionKind.COMPUTE else (
+                f"->{rec.dst}" if cat is ActionKind.DISTRIBUTE
+                else f"<-{rec.src}" if cat is ActionKind.COLLECT
+                else rec.kind.value
+            )
+            stack[-1][1].append((cat, detail, rec))
+    while stack:
+        close_frame()
+    return graph
+
+
+def _fold_runs(raw: list[tuple[ActionKind, str, object]]) -> list[Action]:
+    """Collapse maximal same-kind runs into single actions."""
+    out: list[Action] = []
+    i = 0
+    while i < len(raw):
+        kind, detail, rec = raw[i]
+        j = i
+        details = []
+        t0 = getattr(rec, "t0", 0.0)
+        t1 = getattr(rec, "t1", 0.0)
+        while j < len(raw) and raw[j][0] is kind and (
+            kind is not ActionKind.CALL or raw[j][1] == detail
+        ):
+            details.append(raw[j][1])
+            t1 = getattr(raw[j][2], "t1", t1)
+            j += 1
+        uniq = sorted(set(d for d in details if d))
+        shown = ",".join(uniq[:4]) + ("..." if len(uniq) > 4 else "")
+        out.append(Action(kind=kind, detail=shown, count=j - i, t0=t0, t1=t1))
+        i = j
+    return out

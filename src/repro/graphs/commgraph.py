@@ -1,0 +1,124 @@
+"""The communication graph (paper Figure 4 and §4.4).
+
+    "Each node corresponds to one or two messages.  The arcs describe
+    causality of messages." (Figure 4 caption)
+
+    "The debugger maintains a list of unmatched sends and receives.  The
+    list is updated as execution progresses.  When a send or receive is
+    matched, the pair is added as a node in the communication graph."
+    (§4.4)
+
+So: one node per *matched* message pair; unmatched sends/receives are
+kept aside as the anomaly list.  Arcs connect nodes whose constituent
+events are adjacent in some process's program order -- the immediate
+causality relation whose transitive closure is happens-before restricted
+to message events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.trace.trace import MessagePair, Trace
+
+
+@dataclass
+class CommNode:
+    """One matched message (a send/receive pair)."""
+
+    node_id: int
+    pair: MessagePair
+
+    @property
+    def src(self) -> int:
+        return self.pair.send.proc
+
+    @property
+    def dst(self) -> int:
+        return self.pair.recv.proc
+
+    @property
+    def tag(self) -> int:
+        return self.pair.send.tag
+
+    def __str__(self) -> str:
+        return (
+            f"n{self.node_id}[{self.src}->{self.dst} "
+            f"tag={self.tag} #{self.pair.send.seq}]"
+        )
+
+
+@dataclass
+class CommGraph:
+    """Nodes = matched pairs; arcs = immediate message causality."""
+
+    nodes: list[CommNode] = field(default_factory=list)
+    #: (from node_id, to node_id)
+    arcs: list[tuple[int, int]] = field(default_factory=list)
+    unmatched_sends: list = field(default_factory=list)
+    unmatched_recvs: list = field(default_factory=list)
+
+    def successors(self, node_id: int) -> list[int]:
+        return [b for (a, b) in self.arcs if a == node_id]
+
+    def predecessors(self, node_id: int) -> list[int]:
+        return [a for (a, b) in self.arcs if b == node_id]
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def arc_count(self) -> int:
+        return len(self.arcs)
+
+    def nodes_of_proc(self, proc: int) -> list[CommNode]:
+        return [n for n in self.nodes if proc in (n.src, n.dst)]
+
+    def as_text(self) -> str:
+        lines = [f"communication graph: {len(self.nodes)} nodes, {len(self.arcs)} arcs"]
+        for node in self.nodes:
+            succ = self.successors(node.node_id)
+            arrow = f" -> {succ}" if succ else ""
+            lines.append(f"  {node}{arrow}")
+        if self.unmatched_sends:
+            lines.append(f"  unmatched sends: {len(self.unmatched_sends)}")
+        if self.unmatched_recvs:
+            lines.append(f"  unmatched recvs: {len(self.unmatched_recvs)}")
+        return "\n".join(lines)
+
+
+def build_comm_graph(trace: Trace) -> CommGraph:
+    """Build the communication graph from a trace.
+
+    For each process, its message events (sends and receives) are taken
+    in program order; consecutive events' nodes are linked, giving the
+    per-process causality chains that Figure 4's arcs draw, plus the
+    implicit send->recv causality already inside each node.
+    """
+    graph = CommGraph()
+    pairs = trace.message_pairs()
+    graph.unmatched_sends = trace.unmatched_sends()
+    graph.unmatched_recvs = trace.unmatched_recvs()
+
+    # One node per matched pair; index events -> node id.
+    event_node: dict[int, int] = {}
+    for i, pair in enumerate(pairs):
+        graph.nodes.append(CommNode(i, pair))
+        event_node[pair.send.index] = i
+        event_node[pair.recv.index] = i
+
+    # Per-process adjacency between consecutive message events.
+    seen_arcs: set[tuple[int, int]] = set()
+    for p in range(trace.nprocs):
+        prev: Optional[int] = None
+        for rec in trace.by_proc(p):
+            node_id = event_node.get(rec.index)
+            if node_id is None:
+                continue
+            if prev is not None and prev != node_id:
+                arc = (prev, node_id)
+                if arc not in seen_arcs:
+                    seen_arcs.add(arc)
+                    graph.arcs.append(arc)
+            prev = node_id
+    return graph

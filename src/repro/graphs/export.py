@@ -1,0 +1,166 @@
+"""Graph export: VCG (as in the paper's Figure 9, for xvcg) and DOT.
+
+    "The graph was converted to VCG format displayed with the xvcg graph
+    layout tool."
+
+The VCG writer emits the classic GDL syntax (``graph: { node: {...}
+edge: {...} }``); the DOT writer targets graphviz.  Both are plain-text
+and deterministic, so renderings are diffable in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .callgraph import CallGraph
+from .commgraph import CommGraph
+from .tracegraph import Arc, ArcKind, ChannelNode, FunctionNode, TraceGraph
+
+
+def _q(s: str) -> str:
+    """Quote a label for VCG/DOT."""
+    return '"' + s.replace('"', "'") + '"'
+
+
+# ----------------------------------------------------------------------
+# VCG
+# ----------------------------------------------------------------------
+def call_graph_to_vcg(
+    graph: CallGraph,
+    title: str = "dynamic call graph",
+    calls_per_arc: int = 0,
+) -> str:
+    """Figure 9-style VCG: multiple parallel arcs for repeated calls.
+
+    ``calls_per_arc`` > 0 draws ``ceil(calls / calls_per_arc)`` parallel
+    arcs per edge ("the number of calls per arc is adjustable");
+    0 draws one arc labelled with the count.
+    """
+    lines = [
+        "graph: {",
+        f"  title: {_q(title)}",
+        "  layoutalgorithm: dfs",
+        "  display_edge_labels: yes",
+    ]
+    for fn in graph.functions():
+        label = f"{fn} ({graph.counts.get(fn, 0)})" if fn in graph.counts else fn
+        lines.append(f"  node: {{ title: {_q(fn)} label: {_q(label)} }}")
+    for edge in sorted(graph.edges.values(), key=lambda e: (e.caller, e.callee)):
+        if calls_per_arc > 0:
+            for _ in range(edge.arcs_displayed(calls_per_arc)):
+                lines.append(
+                    f"  edge: {{ sourcename: {_q(edge.caller)} "
+                    f"targetname: {_q(edge.callee)} }}"
+                )
+        else:
+            lines.append(
+                f"  edge: {{ sourcename: {_q(edge.caller)} "
+                f"targetname: {_q(edge.callee)} label: {_q(str(edge.calls))} }}"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def comm_graph_to_vcg(graph: CommGraph, title: str = "communication graph") -> str:
+    """Figure 4-style VCG of the communication graph."""
+    lines = [
+        "graph: {",
+        f"  title: {_q(title)}",
+        "  layoutalgorithm: minbackward",
+    ]
+    for node in graph.nodes:
+        label = f"{node.src}->{node.dst} t{node.tag}"
+        lines.append(f"  node: {{ title: {_q(f'n{node.node_id}')} label: {_q(label)} }}")
+    for a, b in graph.arcs:
+        lines.append(
+            f"  edge: {{ sourcename: {_q(f'n{a}')} targetname: {_q(f'n{b}')} }}"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def trace_graph_to_vcg(graph: TraceGraph, title: str = "trace graph") -> str:
+    """VCG of the full trace graph (function + channel nodes)."""
+    lines = ["graph: {", f"  title: {_q(title)}"]
+    for node in graph.nodes:
+        shape = "ellipse" if isinstance(node, ChannelNode) else "box"
+        lines.append(
+            f"  node: {{ title: {_q(str(node))} label: {_q(str(node))} "
+            f"shape: {shape} }}"
+        )
+    for arc in graph.arcs():
+        label = f"{arc.kind.value} x{arc.count}" if arc.count > 1 else arc.kind.value
+        lines.append(
+            f"  edge: {{ sourcename: {_q(str(arc.src))} "
+            f"targetname: {_q(str(arc.dst))} label: {_q(label)} }}"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# DOT
+# ----------------------------------------------------------------------
+def call_graph_to_dot(graph: CallGraph, name: str = "callgraph") -> str:
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for fn in graph.functions():
+        lines.append(f"  {_q(fn)};")
+    for edge in sorted(graph.edges.values(), key=lambda e: (e.caller, e.callee)):
+        lines.append(
+            f"  {_q(edge.caller)} -> {_q(edge.callee)} "
+            f"[label={_q(str(edge.calls))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def comm_graph_to_dot(graph: CommGraph, name: str = "commgraph") -> str:
+    lines = [f"digraph {name} {{"]
+    for node in graph.nodes:
+        lines.append(
+            f"  n{node.node_id} [label={_q(f'{node.src}->{node.dst} t{node.tag}')}];"
+        )
+    for a, b in graph.arcs:
+        lines.append(f"  n{a} -> n{b};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def trace_graph_to_dot(
+    graph: TraceGraph, name: str = "tracegraph", proc: Optional[int] = None
+) -> str:
+    """DOT of the trace graph, optionally restricted to one process's
+    function nodes plus all channels."""
+
+    def keep(arc: Arc) -> bool:
+        if proc is None:
+            return True
+        for end in (arc.src, arc.dst):
+            if isinstance(end, FunctionNode) and end.proc != proc:
+                return False
+        return True
+
+    def nid(node) -> str:
+        return _q(str(node))
+
+    lines = [f"digraph {name} {{"]
+    used = set()
+    kept = [a for a in graph.arcs() if keep(a)]
+    for arc in kept:
+        used.add(arc.src)
+        used.add(arc.dst)
+    for node in used:
+        shape = "ellipse" if isinstance(node, ChannelNode) else "box"
+        lines.append(f"  {nid(node)} [shape={shape}];")
+    for arc in kept:
+        style = {
+            ArcKind.CALL: "solid",
+            ArcKind.SEND: "dashed",
+            ArcKind.RECV: "dotted",
+        }[arc.kind]
+        lines.append(
+            f"  {nid(arc.src)} -> {nid(arc.dst)} "
+            f"[style={style}, label={_q(f'x{arc.count}')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""``repro.instrument`` -- the paper's three trace-acquisition methods.
+
+* :mod:`~repro.instrument.source` -- AIMS-style source-to-source
+  transformation (Section 2.1): arbitrary construct resolution, visible
+  transformed sources, on-demand flush.
+* :mod:`~repro.instrument.uinst` -- compiler-inserted function-entry
+  instrumentation (Section 2.2): automatic per-function UserMonitor
+  calls via the per-thread profile hook, or a manual decorator.
+* :mod:`~repro.instrument.wrappers` -- instrumented wrappers over the
+  message-passing library through the PMPI interface (Section 2.3):
+  automatic communication history, highly portable.
+
+:class:`UserMonitor` is the shared monitor core: counter history plus
+the debugger-settable thresholds that drive controlled replay.
+"""
+
+from .dyninst import DynPatcher, PatchRecord
+from .overhead import OverheadRow, format_table, measure_overhead, timed_run
+from .source import (
+    CONSTRUCT_KINDS,
+    AimsMonitor,
+    ConstructInfo,
+    ConstructTable,
+    instrument_app_function,
+    instrument_source,
+    instrumented_text,
+    load_instrumented_module,
+)
+from .uinst import Uinst, instrument_function
+from .usermonitor import MonitorEntry, UserMonitor
+from .wrappers import DEFAULT_OPS, WrapperLibrary, lifecycle_wrapper
+
+__all__ = [
+    "AimsMonitor",
+    "CONSTRUCT_KINDS",
+    "ConstructInfo",
+    "ConstructTable",
+    "DEFAULT_OPS",
+    "DynPatcher",
+    "PatchRecord",
+    "MonitorEntry",
+    "OverheadRow",
+    "Uinst",
+    "UserMonitor",
+    "WrapperLibrary",
+    "format_table",
+    "instrument_app_function",
+    "instrument_function",
+    "instrument_source",
+    "instrumented_text",
+    "lifecycle_wrapper",
+    "load_instrumented_module",
+    "measure_overhead",
+    "timed_run",
+]

@@ -1,0 +1,150 @@
+"""Debug-time (Dyninst-style) function patching -- the paper's §6 idea.
+
+    "There is an additional instrumentation strategy which remains to be
+    explored.  The Paradyn system, and in particular its Dyninst API,
+    would permit debug-time instrumentation of the source code.  If
+    traced runs are always initiated by the debugger, this would free
+    the user from any instrumentation concerns whatsoever."
+
+:class:`DynPatcher` rewrites *function objects in their module* at debug
+time: each selected function is replaced by a wrapper whose prologue
+fires the UserMonitor (marker bump + recording) and then calls the
+original.  No source transform, no compile-flag change, no profile hook
+-- and per-call overhead far below the profile-hook method, because only
+the patched functions pay anything (the closest Python analog to
+Dyninst's inline trampolines).
+
+Patches are reversible (:meth:`unpatch_all`), matching Paradyn's dynamic
+insertion *and removal* of instrumentation.
+
+Caveat (inherent to binary patching too): call sites that captured the
+original function object before patching -- ``from mod import fn``
+aliases, default arguments, closures -- keep calling the unpatched code.
+Module-qualified calls and self-recursion through the module global are
+intercepted.
+"""
+
+from __future__ import annotations
+
+import functools
+import types
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.mp.datatypes import SourceLocation
+from repro.mp.runtime import Runtime
+from repro.trace.events import EventKind
+from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class PatchRecord:
+    """Bookkeeping for one installed patch."""
+
+    module: types.ModuleType
+    name: str
+    original: Callable
+    wrapper: Callable
+    calls: int = 0
+
+
+class DynPatcher:
+    """Debug-time instrumentation by module-global function replacement."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        recorder: Optional[TraceRecorder] = None,
+        charge_virtual_cost: bool = True,
+        record_exits: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        self.recorder = recorder
+        self.charge_virtual_cost = charge_virtual_cost
+        self.record_exits = record_exits
+        self._patches: list[PatchRecord] = []
+        #: total instrumented entries across all patches
+        self.entry_count = 0
+
+    # ------------------------------------------------------------------
+    def patch_function(self, module: types.ModuleType, name: str) -> PatchRecord:
+        """Replace ``module.name`` with an instrumented wrapper."""
+        original = getattr(module, name)
+        if not callable(original):
+            raise TypeError(f"{module.__name__}.{name} is not callable")
+        code = getattr(original, "__code__", None)
+        loc = (
+            SourceLocation(code.co_filename, code.co_firstlineno, name)
+            if code is not None
+            else SourceLocation.unknown()
+        )
+        record = PatchRecord(module=module, name=name, original=original, wrapper=None)  # type: ignore[arg-type]
+
+        @functools.wraps(original)
+        def wrapper(*args, **kwargs):
+            proc = self.runtime.current_proc()
+            record.calls += 1
+            self.entry_count += 1
+            if self.charge_virtual_cost:
+                proc.clock.advance(self.runtime.cost_model.call_overhead)
+            proc.current_location = loc
+            marker = proc.bump_marker(loc, args[:2])
+            if self.recorder is not None:
+                t = proc.clock.now
+                self.recorder.record(
+                    proc.rank, EventKind.FUNC_ENTRY, t, t, marker, location=loc
+                )
+            try:
+                return original(*args, **kwargs)
+            finally:
+                if self.recorder is not None and self.record_exits:
+                    t = proc.clock.now
+                    self.recorder.record(
+                        proc.rank, EventKind.FUNC_EXIT, t, t, marker, location=loc
+                    )
+
+        record.wrapper = wrapper
+        setattr(module, name, wrapper)
+        self._patches.append(record)
+        return record
+
+    def patch_module(
+        self, module: types.ModuleType, only: Optional[set[str]] = None
+    ) -> list[PatchRecord]:
+        """Patch every plain function defined in ``module`` (or a subset)."""
+        out = []
+        for name in sorted(vars(module)):
+            obj = vars(module)[name]
+            if not isinstance(obj, types.FunctionType):
+                continue
+            if obj.__module__ != module.__name__:
+                continue
+            if only is not None and name not in only:
+                continue
+            out.append(self.patch_function(module, name))
+        return out
+
+    # ------------------------------------------------------------------
+    def unpatch_all(self) -> int:
+        """Restore every patched function; returns how many were removed.
+
+        Only restores patches whose slot still holds our wrapper (a
+        second patcher layered on top is left intact).
+        """
+        restored = 0
+        for rec in reversed(self._patches):
+            if getattr(rec.module, rec.name, None) is rec.wrapper:
+                setattr(rec.module, rec.name, rec.original)
+                restored += 1
+        self._patches.clear()
+        return restored
+
+    @property
+    def patch_count(self) -> int:
+        return len(self._patches)
+
+    def __enter__(self) -> "DynPatcher":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unpatch_all()

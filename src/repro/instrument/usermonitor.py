@@ -1,0 +1,124 @@
+"""The ``UserMonitor`` of the paper's Section 2.2.
+
+    "In its current implementation, the function increments a single
+    global counter, records the address it was called from together with
+    the first two arguments passed to it, and tests to see if the global
+    counter has reached a threshold value which can be set by the
+    debugger."
+
+The counter and threshold test live on the substrate
+(:meth:`repro.mp.process.Process.bump_marker` / ``StopState``) because
+the runtime must be able to park a process there; this class adds the
+*recording* half -- a bounded per-process history of (marker, call site,
+first two arguments) entries -- plus the debugger-facing threshold API.
+
+Every marker generation in the runtime flows through the installed hook,
+whichever instrumentation layer produced it (function entries from
+uinst/AIMS, communication constructs from the wrapper library), so the
+history is a complete ledger of instrumentation points.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.mp.datatypes import SourceLocation
+from repro.mp.process import Process
+from repro.mp.runtime import Runtime
+from repro.trace.markers import MarkerVector
+
+
+@dataclass(frozen=True)
+class MonitorEntry:
+    """One recorded instrumentation point."""
+
+    marker: int
+    location: SourceLocation
+    #: reprs of the first two arguments at the call site ("records ...
+    #: the first two arguments passed to it"), empty for non-call points
+    args: tuple[str, ...]
+
+
+class UserMonitor:
+    """Per-runtime monitor: marker history + threshold control.
+
+    Parameters
+    ----------
+    runtime:
+        The runtime to attach to (hooks are installed immediately; the
+        runtime must already be launched or launch afterwards -- hooks
+        attach per-process, so attach after ``launch``).
+    history_limit:
+        Max entries retained per process (ring buffer).
+    """
+
+    def __init__(self, runtime: Runtime, history_limit: int = 4096) -> None:
+        if not runtime.procs:
+            raise RuntimeError(
+                "attach UserMonitor after Runtime.launch() so per-process "
+                "hooks can be installed"
+            )
+        self.runtime = runtime
+        self.history_limit = history_limit
+        self._history: dict[int, deque[MonitorEntry]] = {
+            proc.rank: deque(maxlen=history_limit) for proc in runtime.procs
+        }
+        #: total hook invocations (the Table 1 "number of calls" column)
+        self.total_calls = 0
+        for proc in runtime.procs:
+            proc.marker_hooks.append(self._hook)
+
+    # ------------------------------------------------------------------
+    def _hook(self, proc: Process, location: SourceLocation, args: tuple) -> None:
+        self.total_calls += 1
+        arg_reprs = tuple(repr(a)[:80] for a in args[:2])
+        self._history[proc.rank].append(
+            MonitorEntry(marker=proc.marker, location=location, args=arg_reprs)
+        )
+
+    def detach(self) -> None:
+        """Remove the hooks (stop recording; counters keep advancing)."""
+        for proc in self.runtime.procs:
+            try:
+                proc.marker_hooks.remove(self._hook)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # history access
+    # ------------------------------------------------------------------
+    def history(self, rank: int) -> tuple[MonitorEntry, ...]:
+        return tuple(self._history[rank])
+
+    def last_entry(self, rank: int) -> Optional[MonitorEntry]:
+        hist = self._history[rank]
+        return hist[-1] if hist else None
+
+    def entry_at_marker(self, rank: int, marker: int) -> Optional[MonitorEntry]:
+        for entry in reversed(self._history[rank]):
+            if entry.marker == marker:
+                return entry
+            if entry.marker < marker:
+                break
+        return None
+
+    # ------------------------------------------------------------------
+    # threshold control ("a threshold value which can be set by the
+    # debugger")
+    # ------------------------------------------------------------------
+    def set_threshold(self, rank: int, marker: Optional[int]) -> None:
+        self.runtime.set_threshold(rank, marker)
+
+    def set_thresholds(self, vector: "MarkerVector | Mapping[int, int]") -> None:
+        items = vector.as_dict() if isinstance(vector, MarkerVector) else dict(vector)
+        self.runtime.set_thresholds(items)
+
+    def clear_thresholds(self) -> None:
+        for proc in self.runtime.procs:
+            proc.set_threshold(None)
+
+    def marker_vector(self) -> MarkerVector:
+        """Current counters of every process as a MarkerVector."""
+        return MarkerVector(self.runtime.markers())

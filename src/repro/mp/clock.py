@@ -1,0 +1,92 @@
+"""Virtual time for the simulated runtime.
+
+The paper's displays position every construct by its start and end time
+(Section 3.1).  On real hardware those are wall-clock stamps from the AIMS
+monitor; in the simulator each process carries a *virtual clock* advanced
+deterministically by a cost model, so that a given program always yields a
+byte-identical trace (the scheduler-determinism invariant in DESIGN.md).
+
+Causality is preserved by construction: a receive cannot complete before
+``send_time + latency`` of the message it matched, so message lines in the
+time-space diagram always point forward in time -- the property that makes
+a vertical stopline a consistent cut (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostModel:
+    """Per-construct virtual-time costs, in abstract time units.
+
+    The defaults are loosely scaled to the microsecond-era costs of the
+    paper's SGI platform: function-call overhead is tiny, message overhead
+    larger, and per-element transfer cost larger still for big payloads.
+
+    Attributes
+    ----------
+    send_overhead / recv_overhead:
+        Fixed local cost of initiating a send / completing a receive.
+    latency:
+        Time between a send completing locally and the message becoming
+        receivable at the destination.
+    byte_cost:
+        Additional transfer time per payload element (bandwidth term).
+    call_overhead:
+        Cost charged by the function-entry instrumentation point, so that
+        heavily-called programs (the paper's Fibonacci worst case) show
+        visible dilation when instrumented.
+    probe_overhead:
+        Cost of a probe/iprobe or a failed test.
+    collective_overhead:
+        Extra synchronization cost charged once per collective call on
+        top of its constituent point-to-point traffic.
+    """
+
+    send_overhead: float = 1.0
+    recv_overhead: float = 1.0
+    latency: float = 5.0
+    byte_cost: float = 0.01
+    call_overhead: float = 0.05
+    probe_overhead: float = 0.2
+    collective_overhead: float = 2.0
+
+    def transfer_time(self, size: int) -> float:
+        """Latency + bandwidth term for a payload of ``size`` elements."""
+        return self.latency + self.byte_cost * size
+
+
+@dataclass
+class VirtualClock:
+    """A single process's virtual clock.
+
+    ``now`` only moves forward.  :meth:`advance` adds a duration;
+    :meth:`advance_to` implements the "wait until" jumps used when a
+    receive completes at the message's arrival time.
+    """
+
+    now: float = 0.0
+    _history: list[float] = field(default_factory=list, repr=False)
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` (must be >= 0); returns new now."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self.now += dt
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock to ``max(now, t)``; returns the new now."""
+        if t > self.now:
+            self.now = t
+        return self.now
+
+    def checkpoint(self) -> None:
+        """Push the current time onto the (test-visible) history stack."""
+        self._history.append(self.now)
+
+    @property
+    def history(self) -> tuple[float, ...]:
+        return tuple(self._history)

@@ -1,0 +1,22 @@
+"""Small helpers shared by channel, trace, and analysis layers."""
+
+from __future__ import annotations
+
+from .message import Envelope
+
+
+def envelope_key_str(env: Envelope) -> str:
+    """Stable string key for an envelope: ``src->dst/tag#seq``.
+
+    Used as a join key between send and receive trace records when
+    rebuilding message arcs from a trace file.
+    """
+    return f"{env.src}->{env.dst}/{env.tag}#{env.seq}"
+
+
+def parse_envelope_key(key: str) -> Envelope:
+    """Inverse of :func:`envelope_key_str`."""
+    route, _, seq = key.partition("#")
+    endpoints, _, tag = route.partition("/")
+    src, _, dst = endpoints.partition("->")
+    return Envelope(src=int(src), dst=int(dst), tag=int(tag), seq=int(seq))

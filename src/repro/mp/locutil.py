@@ -1,0 +1,54 @@
+"""Caller-location discovery.
+
+Trace records must point at the *user* construct that issued an operation
+(the "click on a message line to see the send in the source" feature of
+Section 3.1), so runtime frames have to be skipped when walking the
+stack.  A frame belongs to the runtime if its file lives in one of the
+infrastructure packages below; everything else -- applications, examples,
+tests -- counts as user code.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from .datatypes import SourceLocation
+
+#: Path fragments identifying infrastructure frames to skip.
+_INFRA_FRAGMENTS = (
+    os.sep + os.path.join("repro", "mp") + os.sep,
+    os.sep + os.path.join("repro", "instrument") + os.sep,
+    os.sep + os.path.join("repro", "debugger") + os.sep,
+    os.sep + os.path.join("repro", "trace") + os.sep,
+)
+
+
+def is_infrastructure_file(filename: str) -> bool:
+    """True for files inside the runtime/instrumentation packages."""
+    return any(frag in filename for frag in _INFRA_FRAGMENTS)
+
+
+def caller_location(skip: int = 1, max_depth: int = 30) -> SourceLocation:
+    """The nearest non-infrastructure frame above the caller.
+
+    ``skip`` frames are unconditionally discarded first (the helper's own
+    caller chain).  Returns :meth:`SourceLocation.unknown` when the whole
+    stack is infrastructure (e.g. runtime-internal self-tests).
+    """
+    try:
+        frame = sys._getframe(skip + 1)
+    except ValueError:  # pragma: no cover - stack shallower than skip
+        return SourceLocation.unknown()
+    depth = 0
+    while frame is not None and depth < max_depth:
+        filename = frame.f_code.co_filename
+        if not is_infrastructure_file(filename):
+            return SourceLocation(
+                filename=filename,
+                lineno=frame.f_lineno,
+                function=frame.f_code.co_name,
+            )
+        frame = frame.f_back
+        depth += 1
+    return SourceLocation.unknown()

@@ -1,0 +1,152 @@
+"""Nonblocking operation requests (``MPI_Request`` analog).
+
+Requests are created by ``isend``/``irecv`` and completed through
+``wait``/``test``/``waitall``/``waitany``.  The paper's Section 6 notes
+that its replay excludes programs using ``MPI_WAITANY`` and
+``MPI_CANCEL``; this reproduction implements the *extension* the authors
+point to (instant-replay-style recording) by logging the completion index
+a ``waitany`` returned, so those programs replay too (see
+``repro.mp.record`` and DESIGN.md Section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from .channel import PendingRecv
+from .errors import RequestError
+from .message import Message, payload_size
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import Comm
+
+_request_ids = itertools.count()
+
+
+class RequestKind(enum.Enum):
+    SEND = "send"
+    SSEND = "ssend"
+    RECV = "recv"
+
+
+class Request:
+    """A handle on an in-flight nonblocking operation.
+
+    The runtime completes requests eagerly (at deposit/match time); the
+    user-visible ``wait``/``test`` only observe and finalize.  Completed
+    requests are single-shot: a second ``wait`` raises, matching the
+    "request freed" discipline of MPI.
+    """
+
+    def __init__(self, comm: "Comm", kind: RequestKind) -> None:
+        self.req_id = next(_request_ids)
+        self.comm = comm
+        self.kind = kind
+        self.cancelled = False
+        self._finalized = False
+
+    # -- completion state, specialized below ----------------------------
+    @property
+    def complete(self) -> bool:
+        raise NotImplementedError
+
+    def _payload(self) -> Any:
+        raise NotImplementedError
+
+    def _status(self) -> Status:
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------
+    def wait(self, status: Optional[Status] = None) -> Any:
+        """Block until complete; return the payload (None for sends)."""
+        return self.comm.wait(self, status)
+
+    def test(self, status: Optional[Status] = None) -> tuple[bool, Any]:
+        """(done, payload) without blocking."""
+        return self.comm.test(self, status)
+
+    def cancel(self) -> bool:
+        """Attempt to cancel; returns True if cancellation took effect."""
+        return self.comm.cancel(self)
+
+    def _check_reusable(self) -> None:
+        if self._finalized:
+            raise RequestError(f"request {self.req_id} already completed")
+
+    def _finalize(self) -> None:
+        self._finalized = True
+
+
+class SendRequest(Request):
+    """Nonblocking send.  Standard mode is complete at creation (the
+    runtime buffers); synchronous mode completes when the message is
+    matched by a receive."""
+
+    def __init__(self, comm: "Comm", msg: Message, synchronous: bool) -> None:
+        super().__init__(
+            comm, RequestKind.SSEND if synchronous else RequestKind.SEND
+        )
+        self.msg = msg
+        self.synchronous = synchronous
+
+    @property
+    def complete(self) -> bool:
+        if self.cancelled:
+            return True
+        if not self.synchronous:
+            return True
+        return not self.comm.runtime.ssend_outstanding(self.msg.msg_id)
+
+    def _payload(self) -> Any:
+        return None
+
+    def _status(self) -> Status:
+        env = self.msg.envelope
+        return Status(
+            source=env.src,
+            tag=env.tag,
+            count=self.msg.size,
+            cancelled=self.cancelled,
+        )
+
+
+class RecvRequest(Request):
+    """Nonblocking receive, wrapping the posted :class:`PendingRecv`."""
+
+    def __init__(self, comm: "Comm", pending: PendingRecv) -> None:
+        super().__init__(comm, RequestKind.RECV)
+        self.pending = pending
+
+    @property
+    def complete(self) -> bool:
+        return self.cancelled or self.pending.matched is not None
+
+    def _payload(self) -> Any:
+        msg = self.pending.matched
+        return None if msg is None else msg.payload
+
+    def _status(self) -> Status:
+        if self.cancelled and self.pending.matched is None:
+            return Status(cancelled=True)
+        msg = self.pending.matched
+        assert msg is not None
+        return Status(
+            source=msg.envelope.src,
+            tag=msg.envelope.tag,
+            count=payload_size(msg.payload),
+        )
+
+
+def first_complete_index(requests: Sequence[Request]) -> Optional[int]:
+    """Lowest index of a complete request, or None.
+
+    The deterministic default for ``waitany``; a replay overrides it with
+    the recorded choice.
+    """
+    for i, req in enumerate(requests):
+        if req.complete:
+            return i
+    return None

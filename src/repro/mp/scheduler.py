@@ -1,0 +1,352 @@
+"""Deterministic cooperative scheduler.
+
+At most one simulated process executes at any instant; the scheduler
+(running in the controller thread -- the thread that called
+``Runtime.run``) grants an execution *token* to one READY process, waits
+for it to yield (block, stop, finish, or volunteer preemption), and picks
+the next.  All interleaving decisions flow through a pluggable
+:class:`SchedulingPolicy`, so a given (program, policy, seed) triple
+always produces the same execution -- the determinism that underpins the
+paper's marker-threshold replay (Section 4.1: "This information is
+sufficient for p2d2 to perform a replay").
+
+The scheduler also owns *progress accounting*: when its ready set is
+empty it classifies the situation as debugger stop, program completion,
+or deadlock (the Figure 5 scenario), in that priority order.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .errors import DeadlockError
+from .process import ProcState, Process, WaitInfo
+
+
+class RunOutcome(enum.Enum):
+    """Why a ``Scheduler.run_until_idle`` call returned."""
+
+    FINISHED = "finished"  # every process exited normally
+    STOPPED = "stopped"  # >= 1 process parked by the debugger
+    DEADLOCK = "deadlock"  # live processes remain, all blocked
+    ERROR = "error"  # >= 1 process raised; none ready/stopped
+    LIMIT = "limit"  # grant budget exhausted (runaway guard)
+
+
+@dataclass
+class RunReport:
+    """Outcome of one scheduling episode plus the evidence behind it."""
+
+    outcome: RunOutcome
+    stopped: list[Process] = field(default_factory=list)
+    blocked: list[Process] = field(default_factory=list)
+    errored: list[Process] = field(default_factory=list)
+    waiting: list[WaitInfo] = field(default_factory=list)
+    grants: int = 0
+
+    def raise_on_error(self) -> "RunReport":
+        """Re-raise the first user exception / deadlock, else return self."""
+        if self.outcome is RunOutcome.ERROR and self.errored:
+            exc = self.errored[0].exception
+            assert exc is not None
+            raise exc
+        if self.outcome is RunOutcome.DEADLOCK:
+            raise DeadlockError(self.waiting)
+        return self
+
+
+# ----------------------------------------------------------------------
+# scheduling policies
+# ----------------------------------------------------------------------
+class SchedulingPolicy:
+    """Strategy hooks: which READY process runs next, and whether the
+    current process should voluntarily yield at an instrumentation point.
+
+    Policies must be deterministic functions of their inputs (plus an
+    explicit seed) so the whole simulation replays bit-identically.
+    """
+
+    name = "abstract"
+
+    def pick(self, ready: Sequence[Process]) -> Process:
+        raise NotImplementedError
+
+    def should_preempt(self, current: Process, ready: Sequence[Process]) -> bool:
+        """Called at marker points; ``ready`` excludes ``current``."""
+        return False
+
+
+class RunToBlockPolicy(SchedulingPolicy):
+    """Run each process until it blocks/stops; pick the lowest rank next.
+
+    The simplest deterministic policy and the default: context switches
+    happen only at blocking communication, which matches how the paper's
+    single-threaded processes interleave on distinct CPUs as far as
+    message matching is concerned.
+    """
+
+    name = "run_to_block"
+
+    def pick(self, ready: Sequence[Process]) -> Process:
+        return min(ready, key=lambda p: p.rank)
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Yield at every instrumentation point, cycling through ranks."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._last_rank = -1
+
+    def pick(self, ready: Sequence[Process]) -> Process:
+        after = [p for p in ready if p.rank > self._last_rank]
+        chosen = min(after or ready, key=lambda p: p.rank)
+        self._last_rank = chosen.rank
+        return chosen
+
+    def should_preempt(self, current: Process, ready: Sequence[Process]) -> bool:
+        return bool(ready)
+
+
+class VirtualTimePolicy(SchedulingPolicy):
+    """Always run the process with the smallest virtual clock.
+
+    Gives time-space diagrams in which concurrent progress appears
+    interleaved in virtual time, closest to the paper's figures.
+    """
+
+    name = "virtual_time"
+
+    def pick(self, ready: Sequence[Process]) -> Process:
+        return min(ready, key=lambda p: (p.clock.now, p.rank))
+
+    def should_preempt(self, current: Process, ready: Sequence[Process]) -> bool:
+        return any(p.clock.now < current.clock.now for p in ready)
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Seeded random interleaving -- used by the race detector to explore
+    alternative wildcard matchings (Section 4.4 message racing)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick(self, ready: Sequence[Process]) -> Process:
+        ordered = sorted(ready, key=lambda p: p.rank)
+        return ordered[self._rng.randrange(len(ordered))]
+
+    def should_preempt(self, current: Process, ready: Sequence[Process]) -> bool:
+        return bool(ready) and self._rng.random() < 0.5
+
+
+_POLICIES: dict[str, Callable[..., SchedulingPolicy]] = {
+    "run_to_block": RunToBlockPolicy,
+    "round_robin": RoundRobinPolicy,
+    "virtual_time": VirtualTimePolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(spec: "str | SchedulingPolicy", seed: int = 0) -> SchedulingPolicy:
+    """Instantiate a policy from a name (or pass an instance through)."""
+    if isinstance(spec, SchedulingPolicy):
+        return spec
+    try:
+        factory = _POLICIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {spec!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        ) from None
+    if factory is RandomPolicy:
+        return factory(seed)
+    return factory()
+
+
+# ----------------------------------------------------------------------
+# the scheduler proper
+# ----------------------------------------------------------------------
+class Scheduler:
+    """Token-passing coordinator for the process threads.
+
+    Thread model: the *controller* thread calls :meth:`run_until_idle`;
+    each process's *worker* thread alternates between holding the token
+    (executing user code) and waiting in :meth:`await_grant`.  A single
+    condition variable serializes every handoff.
+    """
+
+    def __init__(
+        self,
+        policy: "str | SchedulingPolicy" = "run_to_block",
+        seed: int = 0,
+        max_grants: Optional[int] = None,
+    ) -> None:
+        self.policy = make_policy(policy, seed)
+        self.procs: list[Process] = []
+        self.max_grants = max_grants
+        self.total_grants = 0
+        self._cv = threading.Condition()
+        self._current: Optional[Process] = None
+        #: observers notified after every grant (runtime statistics)
+        self.grant_hooks: list[Callable[[Process], None]] = []
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def register(self, proc: Process) -> None:
+        """Add a process; must happen before it is started."""
+        self.procs.append(proc)
+
+    # ------------------------------------------------------------------
+    # controller-thread side
+    # ------------------------------------------------------------------
+    def run_until_idle(self) -> RunReport:
+        """Grant the token until no process is READY, then classify.
+
+        Returns a :class:`RunReport`.  STOPPED takes priority over
+        DEADLOCK: processes blocked on messages that a *stopped* peer
+        would send are not deadlocked, merely waiting for the debugger.
+        """
+        grants = 0
+        while True:
+            ready = [p for p in self.procs if p.state is ProcState.READY]
+            if not ready:
+                return self._classify(grants)
+            if self.max_grants is not None and self.total_grants >= self.max_grants:
+                return RunReport(outcome=RunOutcome.LIMIT, grants=grants)
+            proc = self.policy.pick(ready)
+            self._grant(proc)
+            grants += 1
+            self.total_grants += 1
+            for hook in self.grant_hooks:
+                hook(proc)
+
+    def _classify(self, grants: int) -> RunReport:
+        stopped = [p for p in self.procs if p.state is ProcState.STOPPED]
+        blocked = [p for p in self.procs if p.state is ProcState.BLOCKED]
+        errored = [p for p in self.procs if p.state is ProcState.ERRORED]
+        report = RunReport(
+            outcome=RunOutcome.FINISHED,
+            stopped=stopped,
+            blocked=blocked,
+            errored=errored,
+            waiting=[p.wait_info for p in blocked if p.wait_info is not None],
+            grants=grants,
+        )
+        # Priority: a debugger stop owns the situation; then a user error
+        # (processes blocked on an errored peer are a consequence, not a
+        # deadlock); a true deadlock only when everyone left is blocked.
+        if stopped:
+            report.outcome = RunOutcome.STOPPED
+        elif errored:
+            report.outcome = RunOutcome.ERROR
+        elif blocked:
+            report.outcome = RunOutcome.DEADLOCK
+        return report
+
+    def _grant(self, proc: Process) -> None:
+        """Hand the token to ``proc`` and wait until it is released."""
+        with self._cv:
+            proc.state = ProcState.RUNNING
+            self._current = proc
+            self._cv.notify_all()
+            while self._current is not None:
+                self._cv.wait()
+
+    def resume_stopped(self, procs: Optional[Sequence[Process]] = None) -> None:
+        """Flip STOPPED processes back to READY (debugger continue)."""
+        with self._cv:
+            for proc in procs if procs is not None else self.procs:
+                if proc.state is ProcState.STOPPED:
+                    proc.state = ProcState.READY
+
+    def shutdown(self) -> None:
+        """Terminate all live processes (used on teardown / abandon).
+
+        Each live process is marked for kill and granted once; its next
+        scheduling point raises :class:`ProcessKilled`, unwinding the
+        user stack.
+        """
+        for proc in self.procs:
+            if proc.live:
+                proc.request_kill()
+        # Granting order doesn't matter for teardown; use rank order.
+        for proc in sorted(self.procs, key=lambda p: p.rank):
+            if proc.live:
+                with self._cv:
+                    if proc.terminated:
+                        continue
+                    proc.state = ProcState.RUNNING
+                    self._current = proc
+                    self._cv.notify_all()
+                    while self._current is not None:
+                        self._cv.wait()
+        for proc in self.procs:
+            proc.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # worker-thread side (token holder)
+    # ------------------------------------------------------------------
+    def await_grant(self, proc: Process) -> None:
+        """Block the worker thread until the token is handed to ``proc``."""
+        with self._cv:
+            while self._current is not proc:
+                self._cv.wait()
+        proc.check_killed()
+
+    def _release(self, proc: Process, new_state: ProcState) -> None:
+        with self._cv:
+            proc.state = new_state
+            self._current = None
+            self._cv.notify_all()
+
+    def yield_blocked(self, proc: Process, wait: WaitInfo) -> None:
+        """Worker: release the token in BLOCKED state; return on re-grant.
+
+        The caller must re-check its wait condition in a loop -- a grant
+        does not guarantee the condition holds (spurious wakeups are
+        possible when the debugger resumes everything).
+        """
+        proc.wait_info = wait
+        self._release(proc, ProcState.BLOCKED)
+        self.await_grant(proc)
+        proc.wait_info = None
+
+    def yield_stopped(self, proc: Process) -> None:
+        """Worker: park in STOPPED (debugger stop); return on re-grant."""
+        self._release(proc, ProcState.STOPPED)
+        self.await_grant(proc)
+
+    def yield_ready(self, proc: Process) -> None:
+        """Worker: voluntary preemption; return when re-picked."""
+        self._release(proc, ProcState.READY)
+        self.await_grant(proc)
+
+    def maybe_preempt(self, proc: Process) -> None:
+        """Worker: consult the policy at an instrumentation point."""
+        others = [
+            p for p in self.procs if p is not proc and p.state is ProcState.READY
+        ]
+        if others and self.policy.should_preempt(proc, others):
+            self.yield_ready(proc)
+
+    def unblock(self, proc: Process) -> None:
+        """Any token holder: make a BLOCKED process READY again."""
+        with self._cv:
+            if proc.state is ProcState.BLOCKED:
+                proc.state = ProcState.READY
+
+    def proc_finished(
+        self, proc: Process, final_state: ProcState, killed: bool = False
+    ) -> None:
+        """Worker: final release; the thread exits after this returns."""
+        del killed  # recorded implicitly: killed procs have no result
+        self._release(proc, final_state)

@@ -1,0 +1,73 @@
+"""The :class:`Status` object returned by receives and probes.
+
+Mirrors ``MPI_Status``: the actual source and tag of the matched message
+(important when the receive used wildcards) plus the element count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Status:
+    """Completion information for a receive or probe.
+
+    Attributes
+    ----------
+    source:
+        Rank that sent the matched message.
+    tag:
+        Tag of the matched message.
+    count:
+        Payload size as reported by :func:`repro.mp.message.payload_size`.
+    cancelled:
+        True if the operation was completed by cancellation rather than by
+        a match (see ``Request.cancel``).
+    error:
+        0 on success; nonzero reserved for future per-status error codes.
+    """
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0
+    cancelled: bool = False
+    error: int = 0
+
+    def get_source(self) -> int:
+        """MPI-style accessor for :attr:`source`."""
+        return self.source
+
+    def get_tag(self) -> int:
+        """MPI-style accessor for :attr:`tag`."""
+        return self.tag
+
+    def get_count(self) -> int:
+        """MPI-style accessor for :attr:`count`."""
+        return self.count
+
+    def is_cancelled(self) -> bool:
+        """MPI-style accessor for :attr:`cancelled`."""
+        return self.cancelled
+
+    def set_from(self, other: "Status") -> None:
+        """Copy all fields from ``other`` (used to fill caller-provided
+        status objects in place, the idiom mpi4py and MPI C share)."""
+        self.source = other.source
+        self.tag = other.tag
+        self.count = other.count
+        self.cancelled = other.cancelled
+        self.error = other.error
+
+
+@dataclass
+class StatusList:
+    """A fixed-size list of statuses for ``waitall``-style operations."""
+
+    statuses: list[Status] = field(default_factory=list)
+
+    def __getitem__(self, index: int) -> Status:
+        return self.statuses[index]
+
+    def __len__(self) -> int:
+        return len(self.statuses)

@@ -1,0 +1,59 @@
+"""``repro.trace`` -- the execution-history model.
+
+Trace records (:mod:`~repro.trace.events`), execution markers
+(:mod:`~repro.trace.markers`), the queryable :class:`Trace` container,
+the persistent trace-file format with on-demand flushing
+(:mod:`~repro.trace.tracefile`), and the in-memory recorder that
+instrumentation layers write into (:mod:`~repro.trace.recorder`).
+"""
+
+from .diff import (
+    Divergence,
+    TraceDiff,
+    diff_traces,
+    record_signature,
+    verify_replay_prefix,
+)
+from .events import (
+    COLLECTIVE_KINDS,
+    OP_TO_KIND,
+    RECV_KINDS,
+    SEND_KINDS,
+    EventKind,
+    TraceRecord,
+)
+from .markers import ExecutionMarker, MarkerVector
+from .recorder import TraceRecorder
+from .trace import MessagePair, Trace, merge_traces
+from .tracefile import (
+    TraceFileError,
+    TraceFileReader,
+    TraceFileWriter,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "COLLECTIVE_KINDS",
+    "Divergence",
+    "TraceDiff",
+    "diff_traces",
+    "record_signature",
+    "verify_replay_prefix",
+    "EventKind",
+    "ExecutionMarker",
+    "MarkerVector",
+    "MessagePair",
+    "OP_TO_KIND",
+    "RECV_KINDS",
+    "SEND_KINDS",
+    "Trace",
+    "TraceFileError",
+    "TraceFileReader",
+    "TraceFileWriter",
+    "TraceRecord",
+    "TraceRecorder",
+    "load_trace",
+    "merge_traces",
+    "save_trace",
+]

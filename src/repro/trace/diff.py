@@ -1,0 +1,136 @@
+"""Trace comparison: did two executions have the same history?
+
+The §4.2 replay guarantee -- "the replay has identical event causality
+with the original program execution" -- is a checkable property.  This
+module checks it: compare two traces process by process and report the
+first divergence, if any.  Uses:
+
+* validating that a controlled replay really reproduced the prefix up to
+  its stopline;
+* regression debugging: run a program before and after a change and see
+  exactly where their communication behaviour first differs;
+* verifying that two scheduling policies are observationally equivalent
+  for a deterministic program.
+
+Comparison is over each record's *behavioural signature* -- construct
+kind, marker, and message endpoints/tag/seq -- not over virtual times
+(which differ legitimately when cost models or policies differ) unless
+``compare_times`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .events import TraceRecord
+from .trace import Trace
+
+
+def record_signature(rec: TraceRecord, with_times: bool = False) -> tuple:
+    """The behaviour-defining fields of a record."""
+    sig = (rec.kind, rec.marker, rec.src, rec.dst, rec.tag, rec.seq)
+    if with_times:
+        sig = sig + (rec.t0, rec.t1)
+    return sig
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where one process's histories disagree."""
+
+    proc: int
+    position: int  # index into the per-process sequence
+    left: Optional[TraceRecord]  # None = left ended early
+    right: Optional[TraceRecord]
+
+    def describe(self) -> str:
+        def show(rec: Optional[TraceRecord]) -> str:
+            return str(rec) if rec is not None else "<end of trace>"
+
+        return (
+            f"p{self.proc} diverges at event #{self.position}:\n"
+            f"  left : {show(self.left)}\n"
+            f"  right: {show(self.right)}"
+        )
+
+
+@dataclass
+class TraceDiff:
+    """Result of comparing two traces."""
+
+    identical: bool
+    divergences: list[Divergence] = field(default_factory=list)
+    #: per-process count of leading events that agree
+    common_prefix: dict[int, int] = field(default_factory=dict)
+
+    def first(self) -> Optional[Divergence]:
+        return self.divergences[0] if self.divergences else None
+
+    def as_text(self) -> str:
+        if self.identical:
+            return "traces identical"
+        lines = [f"{len(self.divergences)} process(es) diverge:"]
+        for d in self.divergences:
+            lines.append(d.describe())
+        return "\n".join(lines)
+
+
+def diff_traces(
+    left: Trace,
+    right: Trace,
+    compare_times: bool = False,
+    markers_below: Optional[dict[int, int]] = None,
+) -> TraceDiff:
+    """Compare per-process histories; report the first divergence of each
+    process.
+
+    ``markers_below`` restricts the comparison per process to records
+    with marker < the given threshold -- exactly the prefix a stopline
+    replay promises to reproduce (omitted ranks compare fully).
+    """
+    if left.nprocs != right.nprocs:
+        raise ValueError(
+            f"traces have different widths: {left.nprocs} vs {right.nprocs}"
+        )
+    out = TraceDiff(identical=True)
+    for p in range(left.nprocs):
+        limit = (markers_below or {}).get(p)
+
+        def rows(trace: Trace) -> list[TraceRecord]:
+            rs = list(trace.by_proc(p))
+            if limit is not None:
+                rs = [r for r in rs if r.marker < limit]
+            return rs
+
+        lrows, rrows = rows(left), rows(right)
+        agree = 0
+        div: Optional[Divergence] = None
+        for i in range(max(len(lrows), len(rrows))):
+            lrec = lrows[i] if i < len(lrows) else None
+            rrec = rrows[i] if i < len(rrows) else None
+            if (
+                lrec is not None
+                and rrec is not None
+                and record_signature(lrec, compare_times)
+                == record_signature(rrec, compare_times)
+            ):
+                agree += 1
+                continue
+            div = Divergence(proc=p, position=i, left=lrec, right=rrec)
+            break
+        out.common_prefix[p] = agree
+        if div is not None:
+            out.identical = False
+            out.divergences.append(div)
+    return out
+
+
+def verify_replay_prefix(
+    original: Trace,
+    replayed: Trace,
+    thresholds: dict[int, int],
+) -> TraceDiff:
+    """Check the replay guarantee: up to each process's stopline marker,
+    the replayed history equals the original (behavioural signatures)."""
+    return diff_traces(original, replayed, markers_below=thresholds)

@@ -1,0 +1,148 @@
+"""The in-memory trace recorder instrumentation layers write into.
+
+One recorder serves a whole runtime.  Instrumentation (wrapper library,
+UserMonitor, AIMS-style source monitors) appends records; the debugger
+and analyses read a consistent :class:`Trace` snapshot at any stop.
+
+Size control reproduces the paper's Section 3 knobs: "The size of trace
+file can be controlled by selectively instrumenting constructs and by
+toggling the collection on and off in the monitor" -- see
+:meth:`set_enabled` (per process or globally) and :meth:`set_kind_filter`.
+
+Thread-safety: records are only appended by the process thread holding
+the scheduler token, and read by the controller thread while no process
+runs, so no locking is required -- a property of the cooperative runtime.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from repro.mp.datatypes import SourceLocation
+
+from .events import EventKind, TraceRecord
+from .trace import Trace
+from .tracefile import TraceFileWriter
+
+
+class TraceRecorder:
+    """Collects trace records for one execution.
+
+    Parameters
+    ----------
+    nprocs:
+        Communicator size (rows of the eventual time-space diagram).
+    kinds:
+        If given, only these event kinds are recorded (selective
+        construct instrumentation).
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        kinds: Optional[Iterable[EventKind]] = None,
+    ) -> None:
+        self.nprocs = nprocs
+        self._records: list[TraceRecord] = []
+        self._enabled_global = True
+        self._enabled_proc = [True] * nprocs
+        self._kind_filter: Optional[frozenset[EventKind]] = (
+            frozenset(kinds) if kinds is not None else None
+        )
+        self._writer: Optional[TraceFileWriter] = None
+        #: records dropped by toggles/filters (observability of gaps)
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # collection control (paper Section 3 size-control knobs)
+    # ------------------------------------------------------------------
+    def set_enabled(self, on: bool, proc: Optional[int] = None) -> None:
+        """Toggle collection globally (``proc=None``) or for one rank."""
+        if proc is None:
+            self._enabled_global = on
+        else:
+            self._enabled_proc[proc] = on
+
+    def is_enabled(self, proc: int) -> bool:
+        return self._enabled_global and self._enabled_proc[proc]
+
+    def set_kind_filter(self, kinds: Optional[Iterable[EventKind]]) -> None:
+        """Restrict recording to the given kinds (None = everything)."""
+        self._kind_filter = frozenset(kinds) if kinds is not None else None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        proc: int,
+        kind: EventKind,
+        t0: float,
+        t1: float,
+        marker: int,
+        location: Optional[SourceLocation] = None,
+        **fields: Any,
+    ) -> Optional[TraceRecord]:
+        """Append a record; returns it, or None when filtered out."""
+        if not self.is_enabled(proc) or (
+            self._kind_filter is not None and kind not in self._kind_filter
+        ):
+            self.dropped += 1
+            return None
+        rec = TraceRecord(
+            index=len(self._records),
+            proc=proc,
+            kind=kind,
+            t0=t0,
+            t1=t1,
+            marker=marker,
+            location=location or SourceLocation.unknown(),
+            **fields,
+        )
+        self._records.append(rec)
+        if self._writer is not None:
+            self._writer.write(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Trace:
+        """A consistent Trace over everything recorded so far."""
+        return Trace(list(self._records), self.nprocs)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------
+    # file backing (flush-on-demand, Section 2.1)
+    # ------------------------------------------------------------------
+    def attach_file(
+        self,
+        path: Union[str, Path],
+        auto_flush_every: Optional[int] = None,
+    ) -> TraceFileWriter:
+        """Mirror all future records into a trace file."""
+        if self._writer is not None:
+            raise RuntimeError("a trace file is already attached")
+        self._writer = TraceFileWriter(path, self.nprocs, auto_flush_every)
+        # Back-fill anything recorded before attachment.
+        for rec in self._records:
+            self._writer.write(rec)
+        return self._writer
+
+    def flush(self) -> int:
+        """Flush the attached file (no-op without one); returns count."""
+        if self._writer is None:
+            return 0
+        return self._writer.flush()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None

@@ -1,0 +1,228 @@
+"""The :class:`Trace` container: an execution history plus query indexes.
+
+Downstream layers query a trace in a few stereotyped ways:
+
+* per-process event sequences in program order (time-space rows);
+* send/receive pairing by the (src, dst, tag, seq) key -- unique under
+  MPI non-overtaking, the paper's Section 3.2 observation;
+* marker <-> record translation (stopline placement and replay);
+* time-window slices (zoom rescan for the disseminated trace graph).
+
+All indexes are built lazily and cached; a Trace is immutable once
+constructed (the recorder builds a new one per flush).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .events import EventKind, TraceRecord
+
+
+@dataclass(frozen=True)
+class MessagePair:
+    """A matched (send record, receive record) pair."""
+
+    send: TraceRecord
+    recv: TraceRecord
+
+    @property
+    def key(self) -> tuple[int, int, int, int]:
+        return self.send.message_key()
+
+    @property
+    def latency(self) -> float:
+        """Virtual time from send completion to receive completion."""
+        return self.recv.t1 - self.send.t1
+
+
+class Trace:
+    """An immutable sequence of trace records with query indexes."""
+
+    def __init__(self, records: Sequence[TraceRecord], nprocs: int) -> None:
+        self._records = list(records)
+        self.nprocs = nprocs
+        self._by_proc: Optional[list[list[TraceRecord]]] = None
+        self._pairs: Optional[list[MessagePair]] = None
+        self._unmatched_sends: Optional[list[TraceRecord]] = None
+        self._unmatched_recvs: Optional[list[TraceRecord]] = None
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> Sequence[TraceRecord]:
+        return tuple(self._records)
+
+    def by_proc(self, proc: int) -> Sequence[TraceRecord]:
+        """This process's records in program order."""
+        if self._by_proc is None:
+            rows: list[list[TraceRecord]] = [[] for _ in range(self.nprocs)]
+            for rec in self._records:
+                rows[rec.proc].append(rec)
+            self._by_proc = rows
+        return self._by_proc[proc]
+
+    def of_kind(self, *kinds: EventKind) -> list[TraceRecord]:
+        wanted = set(kinds)
+        return [r for r in self._records if r.kind in wanted]
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(earliest t0, latest t1) over the whole trace; (0, 0) if empty."""
+        if not self._records:
+            return (0.0, 0.0)
+        return (
+            min(r.t0 for r in self._records),
+            max(r.t1 for r in self._records),
+        )
+
+    # ------------------------------------------------------------------
+    # message matching (Section 3.2: unique under non-overtaking)
+    # ------------------------------------------------------------------
+    def _match_messages(self) -> None:
+        sends: dict[tuple[int, int, int, int], TraceRecord] = {}
+        pairs: list[MessagePair] = []
+        matched_send_keys: set[tuple[int, int, int, int]] = set()
+        unmatched_recvs: list[TraceRecord] = []
+        for rec in self._records:
+            if rec.is_send:
+                sends[rec.message_key()] = rec
+        for rec in self._records:
+            if rec.is_recv:
+                key = rec.message_key()
+                send = sends.get(key)
+                if send is None:
+                    unmatched_recvs.append(rec)
+                else:
+                    pairs.append(MessagePair(send, rec))
+                    matched_send_keys.add(key)
+        self._pairs = pairs
+        self._unmatched_sends = [
+            rec
+            for rec in self._records
+            if rec.is_send and rec.message_key() not in matched_send_keys
+        ]
+        self._unmatched_recvs = unmatched_recvs
+
+    def message_pairs(self) -> list[MessagePair]:
+        """All matched (send, recv) record pairs."""
+        if self._pairs is None:
+            self._match_messages()
+        assert self._pairs is not None
+        return self._pairs
+
+    def unmatched_sends(self) -> list[TraceRecord]:
+        """Send records whose message was never received -- the "missed
+        messages" the paper's Figure 6 analysis surfaces."""
+        if self._unmatched_sends is None:
+            self._match_messages()
+        assert self._unmatched_sends is not None
+        return self._unmatched_sends
+
+    def unmatched_recvs(self) -> list[TraceRecord]:
+        """Receive records with no matching send in the trace (possible
+        when instrumentation was toggled off around the send)."""
+        if self._unmatched_recvs is None:
+            self._match_messages()
+        assert self._unmatched_recvs is not None
+        return self._unmatched_recvs
+
+    # ------------------------------------------------------------------
+    # marker and time translation
+    # ------------------------------------------------------------------
+    def record_at_marker(self, proc: int, marker: int) -> Optional[TraceRecord]:
+        """The first record of ``proc`` carrying ``marker`` (None if the
+        marker fell between instrumented constructs)."""
+        for rec in self.by_proc(proc):
+            if rec.marker == marker:
+                return rec
+            if rec.marker > marker:
+                break
+        return None
+
+    def first_at_or_after(self, proc: int, t: float) -> Optional[TraceRecord]:
+        """Earliest record of ``proc`` starting at or after time ``t``."""
+        rows = self.by_proc(proc)
+        starts = [r.t0 for r in rows]
+        i = bisect.bisect_left(starts, t)
+        return rows[i] if i < len(rows) else None
+
+    def first_ending_after(self, proc: int, t: float) -> Optional[TraceRecord]:
+        """Earliest record of ``proc`` completing strictly after ``t``.
+
+        Completion times are monotone in program order (a construct
+        cannot start before its predecessor ends), so this is the first
+        construct not yet finished at time ``t`` -- the vertical-stopline
+        threshold construct.
+        """
+        rows = self.by_proc(proc)
+        ends = [r.t1 for r in rows]
+        i = bisect.bisect_right(ends, t)
+        return rows[i] if i < len(rows) else None
+
+    def last_before(self, proc: int, t: float) -> Optional[TraceRecord]:
+        """Latest record of ``proc`` starting strictly before ``t``."""
+        rows = self.by_proc(proc)
+        starts = [r.t0 for r in rows]
+        i = bisect.bisect_left(starts, t)
+        return rows[i - 1] if i > 0 else None
+
+    def window(self, t_lo: float, t_hi: float) -> list[TraceRecord]:
+        """Records overlapping [t_lo, t_hi] -- the zoom-rescan primitive
+        the disseminated trace graph uses to reconstruct merged arcs."""
+        return [r for r in self._records if r.t1 >= t_lo and r.t0 <= t_hi]
+
+    # ------------------------------------------------------------------
+    def final_markers(self) -> dict[int, int]:
+        """Rank -> highest marker seen (end-of-trace marker vector)."""
+        out: dict[int, int] = {}
+        for rec in self._records:
+            if rec.marker > out.get(rec.proc, -1):
+                out[rec.proc] = rec.marker
+        return out
+
+    def counts_by_kind(self) -> dict[EventKind, int]:
+        out: dict[EventKind, int] = {}
+        for rec in self._records:
+            out[rec.kind] = out.get(rec.kind, 0) + 1
+        return out
+
+    def recv_counts(self) -> dict[int, int]:
+        """Rank -> number of completed receives (the Figure 6 diagnostic:
+        "processes 1-6 each receive 2 messages and process 7 only
+        receives 1")."""
+        out = {p: 0 for p in range(self.nprocs)}
+        for rec in self._records:
+            if rec.is_recv:
+                out[rec.proc] += 1
+        return out
+
+    def send_counts(self) -> dict[int, int]:
+        out = {p: 0 for p in range(self.nprocs)}
+        for rec in self._records:
+            if rec.is_send:
+                out[rec.proc] += 1
+        return out
+
+
+def merge_traces(traces: Iterable[Trace]) -> Trace:
+    """Concatenate traces (e.g. per-segment flushes) re-indexed globally."""
+    records: list[TraceRecord] = []
+    nprocs = 0
+    for tr in traces:
+        nprocs = max(nprocs, tr.nprocs)
+        records.extend(tr.records)
+    records.sort(key=lambda r: r.index)
+    return Trace(records, nprocs)

@@ -1,0 +1,34 @@
+"""``repro.viz`` -- history displays (paper §3).
+
+* :mod:`~repro.viz.timespace` -- the time-space diagram model with
+  hit-testing (click-to-source), plus an ASCII renderer (the NTV
+  full-view analog).
+* :mod:`~repro.viz.svg` -- SVG rendering with bars, message lines,
+  stopline, and frontier overlays (Figures 2, 5, 6, 8).
+* :mod:`~repro.viz.animate` -- the VK-style scrollable animated window.
+* :mod:`~repro.viz.layout` -- viewport zoom/pan math shared by all.
+"""
+
+from .animate import AnimatedView
+from .layout import Viewport
+from .svg import CATEGORY_COLORS, render_svg, save_svg
+from .timespace import (
+    Bar,
+    MessageLine,
+    TimeSpaceDiagram,
+    build_diagram,
+    render_ascii,
+)
+
+__all__ = [
+    "AnimatedView",
+    "Bar",
+    "CATEGORY_COLORS",
+    "MessageLine",
+    "TimeSpaceDiagram",
+    "Viewport",
+    "build_diagram",
+    "render_ascii",
+    "render_svg",
+    "save_svg",
+]

@@ -1,0 +1,77 @@
+"""Viewport math for time-space displays.
+
+Both visualizers in the paper position constructs by (time, process):
+NTV "provides the user with the entire trace file at one time and allows
+selective zooming and panning"; VK "gives the user a window into the
+trace file".  A :class:`Viewport` maps virtual time to display columns
+with zoom and pan, shared by the ASCII, SVG, and animation renderers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """A [t0, t1] time window rendered into ``columns`` columns."""
+
+    t0: float
+    t1: float
+    columns: int = 100
+
+    def __post_init__(self) -> None:
+        if self.t1 <= self.t0:
+            raise ValueError(f"empty viewport [{self.t0}, {self.t1}]")
+        if self.columns < 2:
+            raise ValueError("viewport needs at least 2 columns")
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def time_per_column(self) -> float:
+        return self.width / self.columns
+
+    def column_of(self, t: float) -> int:
+        """Display column of time ``t``, clamped to the viewport."""
+        frac = (t - self.t0) / self.width
+        col = int(frac * (self.columns - 1))
+        return max(0, min(self.columns - 1, col))
+
+    def time_of(self, column: int) -> float:
+        """Inverse mapping (column centre), for click hit-testing."""
+        frac = column / (self.columns - 1)
+        return self.t0 + frac * self.width
+
+    def contains(self, t: float) -> bool:
+        return self.t0 <= t <= self.t1
+
+    def overlaps(self, a: float, b: float) -> bool:
+        """Does the span [a, b] intersect the viewport?"""
+        return b >= self.t0 and a <= self.t1
+
+    # ------------------------------------------------------------------
+    # zoom & pan (the NTV interactions)
+    # ------------------------------------------------------------------
+    def zoom(self, factor: float, center: "float | None" = None) -> "Viewport":
+        """factor > 1 zooms in around ``center`` (default: midpoint)."""
+        if factor <= 0:
+            raise ValueError("zoom factor must be positive")
+        c = center if center is not None else (self.t0 + self.t1) / 2
+        half = self.width / (2 * factor)
+        return replace(self, t0=c - half, t1=c + half)
+
+    def pan(self, dt: float) -> "Viewport":
+        """Shift the window by ``dt`` time units."""
+        return replace(self, t0=self.t0 + dt, t1=self.t1 + dt)
+
+    @classmethod
+    def fit(cls, t_lo: float, t_hi: float, columns: int = 100, margin: float = 0.02) -> "Viewport":
+        """A viewport covering [t_lo, t_hi] with a small margin."""
+        if t_hi <= t_lo:
+            t_hi = t_lo + 1.0
+        pad = (t_hi - t_lo) * margin
+        return cls(t0=t_lo - pad, t1=t_hi + pad, columns=columns)

@@ -1,0 +1,111 @@
+"""LU SSOR solver, Fibonacci, and the microworkloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.apps import (
+    LUConfig,
+    distributed_fib_program,
+    fib,
+    fib_call_count,
+    fib_program,
+    halo_program,
+    lu_program,
+    master_worker_program,
+    pingpong_program,
+    ring_program,
+)
+
+
+class TestFibonacci:
+    def test_values(self):
+        assert [fib(n) for n in range(8)] == [0, 1, 1, 2, 3, 5, 8, 13]
+
+    def test_call_count_recurrence(self):
+        """calls(n) = 2*fib(n+1) - 1 (the Table 1 call-count column)."""
+        for n in range(2, 15):
+            assert fib_call_count(n) == 2 * fib(n + 1) - 1
+
+    def test_program(self):
+        rt = mp.run_program(fib_program(10), 1)
+        assert rt.results() == [55]
+
+    def test_distributed_fib(self):
+        rt = mp.run_program(distributed_fib_program(12), 3)
+        assert rt.results()[0] == fib(12)
+
+
+class TestLU:
+    def test_block_partition_covers_grid(self):
+        cfg = LUConfig(grid=19, nprocs=4, sweeps=1)
+        rows = []
+        for r in range(4):
+            lo, hi = cfg.block_rows(r)
+            rows.extend(range(lo, hi))
+        assert rows == list(range(19))
+
+    def test_residual_decreases(self):
+        cfg = LUConfig(grid=16, nprocs=4, sweeps=5)
+        rt = mp.run_program(lu_program(cfg), 4)
+        residuals = rt.results()[0]
+        assert len(residuals) == 5
+        assert residuals[-1] < residuals[0] * 0.5  # SSOR converges
+
+    def test_single_rank_matches_multirank_direction(self):
+        """More ranks change the pipeline, not the convergence trend."""
+        res = {}
+        for nprocs in (1, 4):
+            cfg = LUConfig(grid=12, nprocs=nprocs, sweeps=4)
+            rt = mp.run_program(lu_program(cfg), nprocs)
+            res[nprocs] = rt.results()[0]
+        assert res[1][-1] < res[1][0]
+        assert res[4][-1] < res[4][0]
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError, match="grid"):
+            LUConfig(grid=2, nprocs=4)
+
+    def test_pipeline_messages_flow(self):
+        cfg = LUConfig(grid=16, nprocs=8, sweeps=2)
+        rt = mp.Runtime(8)
+        rt.run(lu_program(cfg))
+        # Per sweep: 7 down + 7 up boundary messages + residual halo
+        # (14) + reduce traffic (7): > 30 messages per sweep.
+        assert rt.messages_sent >= 60
+
+
+class TestMicroWorkloads:
+    def test_ring(self):
+        rt = mp.run_program(ring_program(rounds=3), 5)
+        assert rt.results()[0] == 3 * sum(range(5))
+
+    def test_pingpong(self):
+        rt = mp.run_program(pingpong_program(rounds=4, size=8), 2)
+        # Each round adds 1.0 to every element: sum = sum(0..7) + 4*8.
+        assert rt.results()[0] == sum(range(8)) + 4 * 8
+
+    def test_halo_smooths(self):
+        rt = mp.run_program(halo_program(steps=6), 4)
+        values = [v for v in rt.results()]
+        spread = max(values) - min(values)
+        assert spread < 3.0  # initial spread (0..3) strictly shrinks
+
+    def test_master_worker_all_tasks_done(self):
+        rt = mp.run_program(master_worker_program(n_tasks=9), 4)
+        assert rt.results()[0] == [i * i for i in range(9)]
+
+    def test_master_worker_uses_wildcards(self):
+        rt = mp.Runtime(4)
+        rt.run(master_worker_program(n_tasks=6))
+        # Wildcard receives recorded for replay: master's result receives.
+        master_recvs = [k for k in rt.comm_log.recv_matches if k[0] == 0]
+        assert len(master_recvs) == 6
+
+    def test_master_worker_replays(self):
+        rt1 = mp.Runtime(5, policy="random", seed=13)
+        rt1.run(master_worker_program(n_tasks=10))
+        rt2 = mp.Runtime(5, replay_log=rt1.comm_log)
+        rt2.run(master_worker_program(n_tasks=10))
+        assert rt1.results()[0] == rt2.results()[0]

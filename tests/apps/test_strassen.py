@@ -1,0 +1,115 @@
+"""The Strassen workload: correctness and the paper's bug scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mp
+from repro.apps import strassen as st
+
+
+class TestLocalMath:
+    def test_split_quadrants_shapes(self):
+        m = np.arange(36.0).reshape(6, 6)
+        q11, q12, q21, q22 = st.split_quadrants(m)
+        assert q11.shape == (3, 3)
+        np.testing.assert_array_equal(q11, m[:3, :3])
+        np.testing.assert_array_equal(q22, m[3:, 3:])
+
+    def test_split_odd_rejected(self):
+        with pytest.raises(ValueError, match="even square"):
+            st.split_quadrants(np.zeros((5, 5)))
+
+    def test_split_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="even square"):
+            st.split_quadrants(np.zeros((4, 6)))
+
+    def test_strassen_identity_local(self):
+        """Combining the 7 products reproduces the plain product."""
+        a, b = st.make_inputs(16, seed=3)
+        ms = [x @ y for (x, y) in st.strassen_operands(a, b)]
+        np.testing.assert_allclose(st.combine_products(ms), a @ b, atol=1e-10)
+
+    def test_seven_products(self):
+        a, b = st.make_inputs(8)
+        assert len(st.strassen_operands(a, b)) == st.N_PRODUCTS
+
+
+class TestDistributedRun:
+    @pytest.mark.parametrize("nprocs", [2, 4, 8])
+    def test_result_matches_reference(self, nprocs):
+        cfg = st.StrassenConfig(n=16, nprocs=nprocs)
+        rt = mp.run_program(st.strassen_program(cfg), nprocs)
+        np.testing.assert_allclose(
+            rt.results()[0], st.reference_product(cfg), atol=1e-10
+        )
+
+    def test_worker_assignment_covers_all_products(self):
+        for nprocs in (2, 4, 8):
+            cfg = st.StrassenConfig(n=8, nprocs=nprocs)
+            assigned = []
+            for w in range(1, nprocs):
+                assigned.extend(cfg.products_of_worker(w))
+            assert sorted(assigned) == list(range(st.N_PRODUCTS))
+
+    def test_message_counts_8_procs(self):
+        """14 operand sends + 7 results = 21 messages (Figure 3 shape)."""
+        cfg = st.StrassenConfig(n=8, nprocs=8)
+        rt = mp.Runtime(8)
+        rt.run(st.strassen_program(cfg))
+        assert rt.messages_sent == 21
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="worker"):
+            st.StrassenConfig(n=8, nprocs=1)
+        with pytest.raises(ValueError, match="even"):
+            st.StrassenConfig(n=9, nprocs=4)
+
+
+class TestBuggyVariant:
+    """The Figure 5-6 scenario: wrong destination in matr_send."""
+
+    def test_deadlock_between_master_and_last_worker(self):
+        cfg = st.StrassenConfig(n=8, nprocs=8, buggy=True)
+        rt = mp.Runtime(8)
+        report = rt.run(st.strassen_program(cfg), raise_errors=False)
+        assert report.outcome is mp.RunOutcome.DEADLOCK
+        blocked_ranks = sorted(w.rank for w in report.waiting)
+        assert blocked_ranks == [0, 7]
+        peers = {w.rank: w.peer for w in report.waiting}
+        assert peers[0] == 7 and peers[7] == 0  # waiting on each other
+        rt.shutdown()
+
+    def test_worker7_receives_only_one_message(self):
+        """"processes 1-6 each receive 2 messages and process 7 only
+        receives 1" (paper Section 4.1)."""
+        cfg = st.StrassenConfig(n=8, nprocs=8, buggy=True)
+        rt = mp.Runtime(8)
+        rt.run(st.strassen_program(cfg), raise_errors=False)
+        recvs = {rank: 0 for rank in range(8)}
+        for (rank, _), _env in rt.comm_log.recv_matches.items():
+            recvs[rank] += 1
+        assert all(recvs[w] == 2 for w in range(1, 7))
+        assert recvs[7] == 1
+        rt.shutdown()
+
+    def test_missed_message_is_unmatched(self):
+        """The stray operand message sits undelivered in a mailbox."""
+        cfg = st.StrassenConfig(n=8, nprocs=8, buggy=True)
+        rt = mp.Runtime(8)
+        rt.run(st.strassen_program(cfg), raise_errors=False)
+        unmatched = rt.unmatched_sends()
+        assert len(unmatched) == 1
+        env = unmatched[0].envelope
+        assert env.src == 0
+        assert env.tag == st.TAG_OPERAND_B
+        assert env.dst != 7  # it went astray, not to worker 7
+        rt.shutdown()
+
+    def test_correct_variant_has_no_unmatched_sends(self):
+        cfg = st.StrassenConfig(n=8, nprocs=8, buggy=False)
+        rt = mp.Runtime(8)
+        rt.run(st.strassen_program(cfg))
+        assert rt.unmatched_sends() == []
+        rt.shutdown()

@@ -1,0 +1,48 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.instrument import Uinst, WrapperLibrary, lifecycle_wrapper
+from repro.trace import TraceRecorder
+
+
+def traced_run(
+    program,
+    nprocs,
+    *,
+    functions=(),
+    modules=(),
+    lifecycle=False,
+    raise_errors=True,
+    **rt_kw,
+):
+    """Run a program with wrapper (and optionally uinst) instrumentation.
+
+    Returns ``(runtime, trace)``.  On non-FINISHED outcomes with
+    ``raise_errors=False`` the runtime is left shut down but its trace
+    and comm_log remain inspectable.
+    """
+    rt = mp.Runtime(nprocs, **rt_kw)
+    recorder = TraceRecorder(nprocs)
+    WrapperLibrary(rt, recorder)
+    wrappers = []
+    if functions or modules:
+        uinst = Uinst(rt, recorder)
+        for fn in functions:
+            uinst.register_function(fn)
+        for mod in modules:
+            uinst.register_module(mod)
+        wrappers.append(uinst.target_wrapper())
+    if lifecycle:
+        wrappers.append(lifecycle_wrapper(recorder))
+    rt.run(program, raise_errors=raise_errors, target_wrappers=wrappers)
+    rt.shutdown()
+    return rt, recorder.snapshot()
+
+
+@pytest.fixture
+def run_traced():
+    return traced_run

@@ -1,0 +1,118 @@
+"""The ``python -m repro.debugger`` command-line front end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+PROGRAM = '''
+def main(comm):
+    token = 0
+    if comm.rank == 0:
+        comm.send(41, dest=1, tag=3)
+        token = comm.recv(source=1, tag=4)
+    elif comm.rank == 1:
+        token = comm.recv(source=0, tag=3) + 1
+        comm.send(token, dest=0, tag=4)
+    comm.compute(2.0)
+    return token
+
+def other_entry(comm):
+    return comm.rank * 10
+'''
+
+DEADLOCKER = '''
+def main(comm):
+    comm.recv(source=(comm.rank + 1) % comm.size, tag=9)
+'''
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.py"
+    path.write_text(PROGRAM)
+    return path
+
+
+def run_cli(*args, commands=None, timeout=120):
+    argv = [sys.executable, "-m", "repro.debugger", *map(str, args)]
+    for cmd in commands or []:
+        argv += ["-c", cmd]
+    return subprocess.run(
+        argv, capture_output=True, text=True, timeout=timeout,
+        cwd=Path(__file__).resolve().parents[2],
+    )
+
+
+class TestCli:
+    def test_run_to_completion(self, program_file):
+        out = run_cli(program_file, "--nprocs", "2",
+                      commands=["run", "states", "trace 4"])
+        assert out.returncode == 0, out.stderr
+        assert "finished" in out.stdout
+        assert "p0: exited" in out.stdout
+        assert "compute" in out.stdout
+
+    def test_threshold_and_continue(self, program_file):
+        out = run_cli(
+            program_file, "--nprocs", "2",
+            commands=["threshold 0 1", "run", "where 0",
+                      "threshold 0 off", "continue"],
+        )
+        assert "stopped" in out.stdout
+        assert "marker=1" in out.stdout
+        assert "finished" in out.stdout
+
+    def test_stopline_replay_flow(self, program_file):
+        out = run_cli(
+            program_file, "--nprocs", "2",
+            commands=["run", "stopline 1", "replay", "states"],
+        )
+        assert "stopline (vertical)" in out.stdout
+        assert out.stdout.count("(p2d2)") == 4  # echoed commands
+
+    def test_alternate_entry(self, program_file):
+        out = run_cli(program_file, "--nprocs", "3",
+                      "--entry", "other_entry", commands=["run"])
+        assert "finished" in out.stdout
+
+    def test_missing_entry_errors(self, program_file):
+        out = run_cli(program_file, "--entry", "nope", commands=["run"])
+        assert out.returncode != 0
+        assert "does not define a callable" in out.stderr
+
+    def test_deadlock_report_via_cli(self, tmp_path):
+        path = tmp_path / "dead.py"
+        path.write_text(DEADLOCKER)
+        out = run_cli(path, "--nprocs", "3", commands=["run", "deadlock"])
+        assert "deadlock" in out.stdout
+        assert "cycle" in out.stdout
+
+    def test_bad_command_keeps_repl_alive(self, program_file):
+        out = run_cli(program_file, commands=["teleport", "run"])
+        assert "error: unknown command" in out.stdout
+        assert "finished" in out.stdout
+
+    def test_stdin_repl(self, program_file):
+        argv = [sys.executable, "-m", "repro.debugger", str(program_file),
+                "--nprocs", "2"]
+        out = subprocess.run(
+            argv, input="run\nstates\nquit\n", capture_output=True,
+            text=True, timeout=120,
+            cwd=Path(__file__).resolve().parents[2],
+        )
+        assert out.returncode == 0, out.stderr
+        assert "finished" in out.stdout
+
+    def test_uinst_flag_instruments_program_functions(self, tmp_path):
+        path = tmp_path / "fibby.py"
+        path.write_text(
+            "def helper(x):\n    return x + 1\n\n"
+            "def main(comm):\n    return helper(comm.rank)\n"
+        )
+        out = run_cli(path, "--nprocs", "1", "--uinst",
+                      commands=["run", "trace 8"])
+        assert "func_entry" in out.stdout

@@ -1,0 +1,54 @@
+"""The profile/critical/races commands in the interpreter."""
+
+from __future__ import annotations
+
+from repro.apps import master_worker_program
+from repro.apps import strassen as st
+from repro.debugger import CommandInterpreter, DebugSession
+
+
+class TestAnalysisCommands:
+    def test_profile_command(self):
+        cfg = st.StrassenConfig(n=8, nprocs=4)
+        session = DebugSession(st.strassen_program(cfg), 4)
+        interp = CommandInterpreter(session)
+        interp.execute("run")
+        out = interp.execute("profile")
+        assert "recv-wait" in out
+        assert "message counts" in out
+        assert "total: 21 messages" in out
+        session.shutdown()
+
+    def test_critical_command(self):
+        cfg = st.StrassenConfig(n=8, nprocs=4)
+        session = DebugSession(st.strassen_program(cfg), 4)
+        interp = CommandInterpreter(session)
+        interp.execute("run")
+        out = interp.execute("critical 6")
+        assert "critical path" in out and "message hops" in out
+        session.shutdown()
+
+    def test_races_command(self):
+        session = DebugSession(master_worker_program(n_tasks=5), 3)
+        interp = CommandInterpreter(session)
+        interp.execute("run")
+        out = interp.execute("races")
+        assert "race at p0" in out
+        session.shutdown()
+
+    def test_races_command_clean_program(self):
+        cfg = st.StrassenConfig(n=8, nprocs=2)
+        session = DebugSession(st.strassen_program(cfg), 2)
+        interp = CommandInterpreter(session)
+        interp.execute("run")
+        assert interp.execute("races") == "no message races detected"
+        session.shutdown()
+
+    def test_help_lists_new_commands(self):
+        session = DebugSession(lambda comm: None, 1)
+        interp = CommandInterpreter(session)
+        help_text = interp.execute("help")
+        for cmd in ("profile", "critical", "races", "backtrace", "locals"):
+            assert cmd in help_text
+        interp.execute("run")
+        session.shutdown()

@@ -1,0 +1,188 @@
+"""Stack/locals inspection, truncation, and AIMS call-site constructs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.debugger import CommandInterpreter, DebugSession
+from repro.instrument import AimsMonitor, load_instrumented_module
+from repro.trace import EventKind, TraceRecorder
+
+
+def layered_prog(comm):
+    state = {"rank": comm.rank}
+
+    def inner(x):
+        doubled = x * 2
+        comm.compute(1.0)  # one marker per iteration (wrapper bump)
+        return doubled
+
+    total = 0
+    for i in range(6):
+        total += inner(i)
+    state["total"] = total
+    return state
+
+
+class TestStackInspection:
+    def test_stack_of_stopped_process(self):
+        session = DebugSession(layered_prog, 2)
+        session.set_threshold(0, 3)
+        session.run()
+        frames = session.stack(0)
+        names = [f.split(" at ")[0] for f in frames]
+        assert names[-1] == "inner"  # innermost user frame last
+        assert "layered_prog" in names
+        session.clear_thresholds()
+        session.cont()
+        session.shutdown()
+
+    def test_locals_of_frames(self):
+        session = DebugSession(layered_prog, 1)
+        session.set_threshold(0, 4)
+        session.run()
+        inner_locals = session.frame_locals(0, 0)
+        assert inner_locals["x"] == "3"
+        assert inner_locals["doubled"] == "6"
+        outer_locals = session.frame_locals(0, 1)
+        assert "total" in outer_locals and "state" in outer_locals
+        session.clear_thresholds()
+        session.cont()
+        session.shutdown()
+
+    def test_stack_of_blocked_process(self):
+        def prog(comm):
+            if comm.rank == 0:
+                pending_value = 41
+                comm.recv(source=1, tag=9)
+                return pending_value
+
+        session = DebugSession(prog, 2)
+        session.run()  # deadlock-ish: rank 0 blocked forever
+        frames = session.stack(0)
+        assert any("prog" in f for f in frames)
+        assert session.frame_locals(0, 0)["pending_value"] == "41"
+        session.shutdown()
+
+    def test_stack_of_running_process_rejected(self):
+        session = DebugSession(layered_prog, 1)
+        session.run()  # finishes
+        with pytest.raises(ValueError, match="exited"):
+            session.stack(0)
+        session.shutdown()
+
+    def test_locals_depth_out_of_range(self):
+        session = DebugSession(layered_prog, 1)
+        session.set_threshold(0, 1)
+        session.run()
+        with pytest.raises(ValueError, match="out of range"):
+            session.frame_locals(0, depth=99)
+        session.clear_thresholds()
+        session.cont()
+        session.shutdown()
+
+    def test_backtrace_and_locals_commands(self):
+        session = DebugSession(layered_prog, 1)
+        interp = CommandInterpreter(session)
+        interp.execute("threshold 0 2")
+        interp.execute("run")
+        bt = interp.execute("backtrace 0")
+        assert "#0" in bt and "inner" in bt
+        lv = interp.execute("locals 0")
+        assert "x = 1" in lv
+        assert "exited" in interp.execute("bt 0") or "inner" in interp.execute("bt 0")
+        interp.execute("threshold 0 off")
+        interp.execute("continue")
+        session.shutdown()
+
+
+class TestTruncation:
+    def test_recv_max_count_ok(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send([1, 2, 3], dest=1)
+                return None
+            return comm.recv(source=0, max_count=3)
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results()[1] == [1, 2, 3]
+
+    def test_recv_truncation_raises(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send([1, 2, 3, 4], dest=1)
+                return None
+            comm.recv(source=0, max_count=2)
+
+        with pytest.raises(mp.TruncationError, match="holds 2"):
+            mp.run_program(prog, 2)
+
+    def test_truncation_status_still_filled(self):
+        got = {}
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("abcdef", dest=1, tag=3)
+                return None
+            st = mp.Status()
+            try:
+                comm.recv(source=0, max_count=2, status=st)
+            except mp.TruncationError:
+                got["status"] = (st.source, st.tag, st.count)
+                return "truncated"
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results()[1] == "truncated"
+        assert got["status"] == (0, 3, 6)
+
+
+class TestAimsCallConstruct:
+    SRC = '''
+def helper(x):
+    return x + 1
+
+def work(n):
+    total = 0
+    for i in range(n):
+        total += helper(i)
+    return total
+'''
+
+    def _run(self, constructs):
+        rt = mp.Runtime(1)
+        rec = TraceRecorder(1)
+        mon = AimsMonitor(rt, rec)
+        module = load_instrumented_module(self.SRC, mon, constructs=constructs)
+        rt.run(lambda comm: module.work(4))
+        return rt, mon, rec.snapshot()
+
+    def test_call_sites_recorded(self):
+        rt, mon, tr = self._run(("function", "call"))
+        statements = tr.of_kind(EventKind.STATEMENT)
+        # 1 range(n) + 4 helper(i) calls.
+        assert len(statements) == 5
+        names = {mon.table[r.construct_id].name for r in statements}
+        assert names == {"range", "helper"}
+        assert rt.results() == [1 + 2 + 3 + 4]  # semantics preserved
+
+    def test_monitor_calls_not_reinstrumented(self):
+        """__aims__.enter/exit/call_event are never wrapped themselves."""
+        from repro.instrument import instrumented_text
+
+        text = instrumented_text(self.SRC, constructs=("function", "call"))
+        assert "call_event" in text
+        # No call_event wrapping a call_event or enter/exit.
+        assert "__aims__.call_event(0, __aims__." not in text
+        for bad in ("call_event(", "enter(", "exit("):
+            assert f"__aims__.call_event(0, __aims__.{bad}" not in text
+
+    def test_finer_constructs_bigger_traces(self):
+        """§2.1: resolution spectrum function < +loop < +call."""
+        sizes = {}
+        for constructs in (("function",), ("function", "loop"),
+                           ("function", "loop", "call")):
+            _, _, tr = self._run(constructs)
+            sizes[constructs] = len(tr)
+        a, b, c = sizes.values()
+        assert a < b < c

@@ -1,0 +1,122 @@
+"""Data watchpoints (the SIC-lineage extension: marker-organized
+watchpoints over user locals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.debugger import DebugSession
+
+
+def accumulator(comm):
+    total = 0
+    for i in range(10):
+        total += i
+        comm.compute(1.0)
+    return total
+
+
+class TestPredicateWatchpoints:
+    def test_stops_when_predicate_holds(self):
+        session = DebugSession(accumulator, 1)
+        session.breakpoints.watch_local("total", predicate=lambda v: v >= 10)
+        summary = session.run()
+        assert summary.outcome is mp.RunOutcome.STOPPED
+        assert summary.reasons[0] == "breakpoint"
+        assert int(session.frame_locals(0, 0)["total"]) >= 10
+        # Observed at an instrumentation point, so it is the FIRST
+        # marker at which the condition held.
+        assert int(session.frame_locals(0, 0)["total"]) == 10
+        session.breakpoints._watchpoints.clear()
+        session.cont()
+        assert session.results() == [45]
+        session.shutdown()
+
+    def test_rank_restriction(self):
+        session = DebugSession(accumulator, 3)
+        session.breakpoints.watch_local(
+            "total", predicate=lambda v: v >= 3, ranks=[2]
+        )
+        summary = session.run()
+        assert summary.states[2] == "stopped"
+        assert summary.states[0] == "exited"
+        session.breakpoints._watchpoints.clear()
+        session.cont()
+        session.shutdown()
+
+    def test_missing_variable_never_fires(self):
+        session = DebugSession(accumulator, 1)
+        session.breakpoints.watch_local("no_such_var", predicate=lambda v: True)
+        assert session.run().outcome is mp.RunOutcome.FINISHED
+        session.shutdown()
+
+
+class TestChangeWatchpoints:
+    def test_stops_on_first_change(self):
+        def prog(comm):
+            mode = "init"
+            comm.compute(1.0)
+            comm.compute(1.0)
+            mode = "active"
+            comm.compute(1.0)
+            return mode
+
+        session = DebugSession(prog, 1)
+        wp = session.breakpoints.watch_local("mode")
+        summary = session.run()
+        assert summary.outcome is mp.RunOutcome.STOPPED
+        assert session.frame_locals(0, 0)["mode"] == "'active'"
+        assert wp.hits == 1
+        session.breakpoints.remove_watchpoint(wp.wp_id)
+        session.cont()
+        assert session.results() == ["active"]
+        session.shutdown()
+
+    def test_unchanged_value_never_fires(self):
+        def prog(comm):
+            constant = 7
+            for _ in range(5):
+                comm.compute(1.0)
+            return constant
+
+        session = DebugSession(prog, 1)
+        session.breakpoints.watch_local("constant")
+        assert session.run().outcome is mp.RunOutcome.FINISHED
+        session.shutdown()
+
+    def test_watchpoint_listing(self):
+        session = DebugSession(accumulator, 1)
+        wp = session.breakpoints.watch_local("total")
+        assert session.breakpoints.watchpoints() == [wp]
+        assert "watch total (change)" == wp.description
+        assert session.breakpoints.remove_watchpoint(wp.wp_id)
+        assert not session.breakpoints.remove_watchpoint(wp.wp_id)
+        session.run()
+        session.shutdown()
+
+    def test_watchpoint_in_inner_frame(self):
+        """The innermost user frame owning the name wins."""
+
+        def prog(comm):
+            level = "outer"
+
+            def inner():
+                level = "inner-0"
+                for k in range(3):
+                    level = f"inner-{k}"
+                    comm.compute(1.0)
+
+            inner()
+            return level
+
+        session = DebugSession(prog, 1)
+        session.breakpoints.watch_local("level")
+        summary = session.run()
+        # First observation is inner-0 (at k=0's compute); the change to
+        # inner-1 fires at k=1's compute.
+        assert summary.outcome is mp.RunOutcome.STOPPED
+        assert session.frame_locals(0, 0)["level"] == "'inner-1'"
+        session.breakpoints._watchpoints.clear()
+        session.cont()
+        session.shutdown()

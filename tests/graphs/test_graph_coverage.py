@@ -1,0 +1,129 @@
+"""Additional coverage of graph corners: actions on workers, channel
+traffic queries, per-proc DOT filtering, and incremental construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import strassen as st
+from repro.graphs import (
+    ActionKind,
+    ArcKind,
+    ChannelNode,
+    FunctionNode,
+    ROOT_FUNCTION,
+    TraceGraph,
+    build_action_graph,
+    build_comm_graph,
+    trace_graph_to_dot,
+)
+from repro.trace import EventKind
+from tests.conftest import traced_run
+
+
+@pytest.fixture(scope="module")
+def strassen_trace():
+    cfg = st.StrassenConfig(n=8, nprocs=8)
+    _, tr = traced_run(st.strassen_program(cfg), 8)
+    return tr
+
+
+class TestWorkerActions:
+    def test_worker_action_sequence(self, strassen_trace):
+        """A worker's life: collect two operands, compute, distribute the
+        result -- the §4.4 comprehension view."""
+        g = build_action_graph(strassen_trace, proc=3)
+        seq = g.actions_of(ROOT_FUNCTION)[0]
+        kinds = [a.kind for a in seq]
+        assert ActionKind.COLLECT in kinds
+        assert ActionKind.DISTRIBUTE in kinds
+        assert kinds.index(ActionKind.COLLECT) < kinds.index(ActionKind.DISTRIBUTE)
+
+    def test_collect_run_count(self, strassen_trace):
+        g = build_action_graph(strassen_trace, proc=2)
+        collects = [
+            a for a in g.actions_of(ROOT_FUNCTION)[0]
+            if a.kind is ActionKind.COLLECT
+        ]
+        assert sum(a.count for a in collects) == 2  # two operand receives
+
+    def test_action_detail_strings(self, strassen_trace):
+        g = build_action_graph(strassen_trace, proc=0)
+        distribute = next(
+            a for a in g.actions_of(ROOT_FUNCTION)[0]
+            if a.kind is ActionKind.DISTRIBUTE
+        )
+        assert "->" in distribute.detail
+        assert "x14" in str(distribute)
+
+
+class TestIncrementalTraceGraph:
+    def test_built_as_execution_runs(self, strassen_trace):
+        """Feeding records one at a time equals from_trace (the paper:
+        "a trace graph which is built as the execution is running")."""
+        incremental = TraceGraph(8, arc_limit=None)
+        for rec in strassen_trace:
+            incremental.add_record(rec)
+        batch = TraceGraph.from_trace(strassen_trace, arc_limit=None)
+        key = lambda g: sorted(  # noqa: E731
+            (a.kind.value, str(a.src), str(a.dst), a.count) for a in g.arcs()
+        )
+        assert key(incremental) == key(batch)
+        assert incremental.events_consumed == batch.events_consumed
+
+    def test_channel_node_identity(self):
+        g = TraceGraph(4)
+        assert ChannelNode(3, 1) == ChannelNode.between(1, 3)
+
+    def test_root_function_nodes_preexist(self):
+        g = TraceGraph(3)
+        roots = [n for n in g.function_nodes() if n.function == ROOT_FUNCTION]
+        assert len(roots) == 3
+
+    def test_dot_per_proc_filter(self, strassen_trace):
+        g = TraceGraph.from_trace(strassen_trace)
+        dot_all = trace_graph_to_dot(g)
+        dot_p3 = trace_graph_to_dot(g, proc=3)
+        assert len(dot_p3) < len(dot_all)
+        assert '"p3:<main>"' in dot_p3
+        assert '"p5:<main>"' not in dot_p3
+
+
+class TestCommGraphQueries:
+    def test_nodes_of_proc(self, strassen_trace):
+        g = build_comm_graph(strassen_trace)
+        # Rank 0 participates in every message; worker 4 in exactly 3.
+        assert len(g.nodes_of_proc(0)) == 21
+        assert len(g.nodes_of_proc(4)) == 3
+
+    def test_predecessor_successor_symmetry(self, strassen_trace):
+        g = build_comm_graph(strassen_trace)
+        for a, b in g.arcs:
+            assert b in g.successors(a)
+            assert a in g.predecessors(b)
+
+    def test_unmatched_recvs_surface(self):
+        """A cancelled-receive trace shows an unmatched receive? No --
+        cancelled receives never produce RECV records.  But toggling
+        recording off around a send does orphan the receive record."""
+        from repro import mp
+        from repro.instrument import WrapperLibrary
+        from repro.trace import TraceRecorder
+
+        rt = mp.Runtime(2)
+        recorder = TraceRecorder(2)
+        WrapperLibrary(rt, recorder)
+
+        def prog(comm):
+            if comm.rank == 0:
+                recorder.set_enabled(False, proc=0)  # hide the send
+                comm.send("ghost", dest=1)
+                recorder.set_enabled(True, proc=0)
+            else:
+                comm.recv(source=0)
+
+        rt.run(prog)
+        rt.shutdown()
+        g = build_comm_graph(recorder.snapshot())
+        assert len(g.unmatched_recvs) == 1
+        assert "unmatched recvs: 1" in g.as_text()

@@ -1,0 +1,211 @@
+"""Trace graph, call graph, communication graph, actions, and export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.apps import fibonacci as fibmod
+from repro.apps import strassen as st
+from repro.graphs import (
+    ArcKind,
+    ChannelNode,
+    FunctionNode,
+    ROOT_FUNCTION,
+    TraceGraph,
+    build_action_graph,
+    build_call_graph,
+    build_comm_graph,
+    call_graph_to_dot,
+    call_graph_to_vcg,
+    comm_graph_to_vcg,
+    iter_channel_traffic,
+    projection,
+    trace_graph_to_dot,
+    trace_graph_to_vcg,
+)
+from tests.conftest import traced_run
+
+
+@pytest.fixture(scope="module")
+def strassen_trace():
+    cfg = st.StrassenConfig(n=8, nprocs=8)
+    _, tr = traced_run(st.strassen_program(cfg), 8)
+    return tr
+
+
+@pytest.fixture(scope="module")
+def fib_trace():
+    _, tr = traced_run(fibmod.fib_program(8), 1, functions=[fibmod.fib])
+    return tr
+
+
+class TestTraceGraph:
+    def test_channel_nodes_are_unordered(self):
+        assert ChannelNode.between(3, 1) == ChannelNode.between(1, 3)
+        assert str(ChannelNode.between(3, 1)) == "ch(1,3)"
+
+    def test_structure_from_strassen(self, strassen_trace):
+        g = TraceGraph.from_trace(strassen_trace, arc_limit=None)
+        channels = {(c.a, c.b) for c in g.channel_nodes()}
+        # Rank 0 exchanges with every worker: channels (0, w).
+        assert channels == {(0, w) for w in range(1, 8)}
+        # Every channel carries 2 operand sends + 1 result send = 3
+        # send-arcs' worth of traffic, and 3 receives.
+        for ch, sends, recvs in iter_channel_traffic(g):
+            assert sends == 3, ch
+            assert recvs == 3, ch
+
+    def test_node_bound(self, strassen_trace):
+        g = TraceGraph.from_trace(strassen_trace)
+        n_functions = len({n.function for n in g.function_nodes()})
+        assert len(g.nodes) <= g.node_count_bound(n_functions)
+
+    def test_call_arcs_from_func_records(self, fib_trace):
+        g = TraceGraph.from_trace(fib_trace, arc_limit=None)
+        fns = {n.function for n in g.function_nodes()}
+        assert fns == {ROOT_FUNCTION, "fib"}
+        call_events = sum(
+            a.count for a in g.arcs() if a.kind is ArcKind.CALL
+        )
+        assert call_events == fibmod.fib_call_count(8)
+
+    def test_dissemination_bounds_arcs(self, fib_trace):
+        limited = TraceGraph.from_trace(fib_trace, arc_limit=16)
+        fib_node = FunctionNode(0, "fib")
+        assert limited.incident_count(fib_node) <= 17  # soft bound
+        assert limited.total_merges() > 0
+        # Event counts are preserved through merging.
+        unlimited = TraceGraph.from_trace(fib_trace, arc_limit=None)
+        total = lambda g: sum(a.count for a in g.arcs() if a.kind is ArcKind.CALL)  # noqa: E731
+        assert total(limited) == total(unlimited)
+
+    def test_arc_limit_validation(self):
+        with pytest.raises(ValueError, match="arc_limit"):
+            TraceGraph(2, arc_limit=1)
+
+    def test_zoom_reconstruction(self, fib_trace):
+        """Merged arcs can be re-expanded by rescanning the trace."""
+        g = TraceGraph.from_trace(fib_trace, arc_limit=8)
+        merged = [a for a in g.arcs() if a.kind is ArcKind.CALL and a.count > 1]
+        assert merged, "expected at least one merged arc"
+        arc = merged[0]
+        originals = g.reconstruct_arc(arc, fib_trace)
+        assert len(originals) >= arc.count
+        assert all(r.kind.value == "func_entry" for r in originals)
+
+    def test_projection_is_single_process(self, strassen_trace):
+        g = TraceGraph.from_trace(strassen_trace)
+        for arc in projection(g, 0):
+            assert arc.src.proc == 0 and arc.dst.proc == 0
+
+
+class TestCallGraph:
+    def test_fib_recursion_edges(self, fib_trace):
+        g = build_call_graph(fib_trace, proc=0)
+        assert g.counts["fib"] == fibmod.fib_call_count(8)
+        edge = g.edges[("fib", "fib")]
+        # Every call except the root call is a self-recursion.
+        assert edge.calls == fibmod.fib_call_count(8) - 1
+        assert g.edges[(ROOT_FUNCTION, "fib")].calls == 1
+
+    def test_inclusive_time_accumulates(self, fib_trace):
+        g = build_call_graph(fib_trace, proc=0)
+        assert g.edges[("fib", "fib")].inclusive_time >= 0.0
+
+    def test_arcs_displayed_adjustable(self, fib_trace):
+        """"The number of calls per arc is adjustable" (Figure 9)."""
+        g = build_call_graph(fib_trace, proc=0)
+        edge = g.edges[("fib", "fib")]
+        assert edge.arcs_displayed(1) == edge.calls
+        assert edge.arcs_displayed(edge.calls) == 1
+        assert edge.arcs_displayed(10) == -(-edge.calls // 10)
+        with pytest.raises(ValueError):
+            edge.arcs_displayed(0)
+
+    def test_merged_view(self, fib_trace):
+        g = build_call_graph(fib_trace, proc=None)
+        assert "fib" in g.functions()
+
+    def test_text_rendering(self, fib_trace):
+        text = build_call_graph(fib_trace, proc=0).as_text(calls_per_arc=10)
+        assert "fib -> fib" in text
+
+
+class TestCommGraph:
+    def test_strassen_comm_graph_shape(self, strassen_trace):
+        """Figure 4: one node per matched message pair."""
+        g = build_comm_graph(strassen_trace)
+        assert g.node_count() == 21  # 14 operands + 7 results
+        assert g.unmatched_sends == []
+        assert g.arc_count() > 0
+        # Results causally follow operands within each worker.
+        for node in g.nodes:
+            if node.tag == st.TAG_RESULT:
+                preds = g.predecessors(node.node_id)
+                assert preds, f"result node {node} should have a cause"
+
+    def test_buggy_strassen_unmatched_in_graph(self):
+        cfg = st.StrassenConfig(n=8, nprocs=8, buggy=True)
+        _, tr = traced_run(st.strassen_program(cfg), 8, raise_errors=False)
+        g = build_comm_graph(tr)
+        assert len(g.unmatched_sends) == 1
+        # 6 workers x 2 operands + worker7 x 1 + 6 results = 19 matched.
+        assert g.node_count() == 19
+
+    def test_text_rendering(self, strassen_trace):
+        text = build_comm_graph(strassen_trace).as_text()
+        assert "communication graph: 21 nodes" in text
+
+
+class TestActionGraph:
+    def test_master_actions(self, strassen_trace):
+        g = build_action_graph(strassen_trace, proc=0)
+        root = g.actions_of(ROOT_FUNCTION)
+        assert root, "root activation must exist"
+        kinds = [a.kind.value for a in root[0]]
+        # The master's life: compute, distribute, collect, compute.
+        assert "distribute" in kinds and "collect" in kinds
+        assert kinds.index("distribute") < kinds.index("collect")
+
+    def test_runs_folded(self, strassen_trace):
+        g = build_action_graph(strassen_trace, proc=0)
+        distribute = [
+            a for a in g.actions_of(ROOT_FUNCTION)[0] if a.kind.value == "distribute"
+        ]
+        assert len(distribute) == 1
+        assert distribute[0].count == 14  # all operand sends in one run
+
+    def test_text(self, strassen_trace):
+        assert "action graph" in build_action_graph(strassen_trace, 0).as_text()
+
+
+class TestExport:
+    def test_vcg_call_graph(self, fib_trace):
+        g = build_call_graph(fib_trace, proc=0)
+        vcg = call_graph_to_vcg(g, calls_per_arc=0)
+        assert vcg.startswith("graph: {") and vcg.endswith("}")
+        assert 'sourcename: "fib" targetname: "fib"' in vcg
+
+    def test_vcg_parallel_arcs(self, fib_trace):
+        """Figure 9's multiple arcs: calls/“calls_per_arc” edges."""
+        g = build_call_graph(fib_trace, proc=0)
+        edge = g.edges[("fib", "fib")]
+        vcg = call_graph_to_vcg(g, calls_per_arc=10)
+        n_arcs = vcg.count('sourcename: "fib" targetname: "fib"')
+        assert n_arcs == edge.arcs_displayed(10)
+
+    def test_dot_call_graph(self, fib_trace):
+        dot = call_graph_to_dot(build_call_graph(fib_trace, proc=0))
+        assert dot.startswith("digraph") and '"fib" -> "fib"' in dot
+
+    def test_vcg_comm_graph(self, strassen_trace):
+        vcg = comm_graph_to_vcg(build_comm_graph(strassen_trace))
+        assert vcg.count("node:") == 21
+
+    def test_trace_graph_exports(self, strassen_trace):
+        g = TraceGraph.from_trace(strassen_trace)
+        vcg = trace_graph_to_vcg(g)
+        dot = trace_graph_to_dot(g, proc=0)
+        assert "ch(0,1)" in vcg
+        assert "shape=ellipse" in dot

@@ -1,0 +1,117 @@
+"""Debug-time (Dyninst-style) patching -- the §6 extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.apps import fibonacci as fibmod
+from repro.instrument import DynPatcher
+from repro.trace import EventKind, TraceRecorder
+
+
+class TestDynPatcher:
+    def test_patch_counts_recursive_calls(self):
+        rt = mp.Runtime(1)
+        patcher = DynPatcher(rt)
+        rec = patcher.patch_function(fibmod, "fib")
+        try:
+            rt.run(fibmod.fib_program(10))
+        finally:
+            patcher.unpatch_all()
+        # Recursion goes through the module global, so every level is
+        # intercepted -- as Dyninst's trampolines would.
+        assert rec.calls == fibmod.fib_call_count(10)
+        assert patcher.entry_count == rec.calls
+        assert rt.results() == [55]
+
+    def test_unpatch_restores_original(self):
+        rt = mp.Runtime(1)
+        original = fibmod.fib
+        patcher = DynPatcher(rt)
+        patcher.patch_function(fibmod, "fib")
+        assert fibmod.fib is not original
+        assert patcher.unpatch_all() == 1
+        assert fibmod.fib is original
+        rt.shutdown()
+
+    def test_context_manager_unpatches(self):
+        rt = mp.Runtime(1)
+        original = fibmod.fib
+        with DynPatcher(rt) as patcher:
+            patcher.patch_function(fibmod, "fib")
+            assert fibmod.fib is not original
+        assert fibmod.fib is original
+        rt.shutdown()
+
+    def test_records_func_events(self):
+        rt = mp.Runtime(1)
+        recorder = TraceRecorder(1)
+        with DynPatcher(rt, recorder) as patcher:
+            patcher.patch_function(fibmod, "fib")
+            rt.run(fibmod.fib_program(6))
+        tr = recorder.snapshot()
+        entries = tr.of_kind(EventKind.FUNC_ENTRY)
+        exits = tr.of_kind(EventKind.FUNC_EXIT)
+        assert len(entries) == len(exits) == fibmod.fib_call_count(6)
+        assert all(r.location.function == "fib" for r in entries)
+
+    def test_markers_and_thresholds(self):
+        """Patched instrumentation drives the stop machinery too."""
+        rt = mp.Runtime(1)
+        with DynPatcher(rt) as patcher:
+            patcher.patch_function(fibmod, "fib")
+            rt.launch(fibmod.fib_program(10))
+            rt.set_threshold(0, 20)
+            report = rt.run_until_idle()
+            assert report.outcome is mp.RunOutcome.STOPPED
+            assert rt.procs[0].marker == 20
+            rt.set_threshold(0, None)
+            assert rt.resume().outcome is mp.RunOutcome.FINISHED
+
+    def test_patch_module_filters(self):
+        rt = mp.Runtime(1)
+        with DynPatcher(rt) as patcher:
+            records = patcher.patch_module(fibmod, only={"fib"})
+            assert [r.name for r in records] == ["fib"]
+            assert patcher.patch_count == 1
+        rt.shutdown()
+
+    def test_non_callable_rejected(self):
+        rt = mp.Runtime(1)
+        patcher = DynPatcher(rt)
+        with pytest.raises(TypeError, match="not callable"):
+            patcher.patch_function(fibmod, "TAG_FIB")
+        rt.shutdown()
+
+    def test_layered_patch_not_clobbered(self):
+        """unpatch_all leaves a later layer's wrapper intact."""
+        rt = mp.Runtime(1)
+        original = fibmod.fib
+        try:
+            p1 = DynPatcher(rt)
+            p1.patch_function(fibmod, "fib")
+            layer1 = fibmod.fib
+            p2 = DynPatcher(rt)
+            p2.patch_function(fibmod, "fib")
+            top = fibmod.fib
+            assert p1.unpatch_all() == 0  # slot holds p2's wrapper: untouched
+            assert fibmod.fib is top
+            assert p2.unpatch_all() == 1  # peels back to layer 1's wrapper
+            assert fibmod.fib is layer1
+        finally:
+            fibmod.fib = original  # p1 forgot its patch list; restore
+            rt.shutdown()
+
+    def test_restore_exact_original_after_nested_unpatch(self):
+        """Unpatching in reverse layering order restores the original."""
+        rt = mp.Runtime(1)
+        original = fibmod.fib
+        p1 = DynPatcher(rt)
+        p1.patch_function(fibmod, "fib")
+        p2 = DynPatcher(rt)
+        p2.patch_function(fibmod, "fib")
+        p2.unpatch_all()
+        p1.unpatch_all()
+        assert fibmod.fib is original
+        rt.shutdown()

@@ -1,0 +1,169 @@
+"""AIMS-style source-to-source instrumentation (Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.instrument import (
+    AimsMonitor,
+    instrument_app_function,
+    instrument_source,
+    instrumented_text,
+    load_instrumented_module,
+)
+from repro.trace import EventKind, TraceRecorder
+
+SAMPLE = '''
+def helper(x):
+    """Doc kept intact."""
+    return x * 2
+
+def work(n):
+    total = 0
+    for i in range(n):
+        total += helper(i)
+    return total
+'''
+
+
+class TestTransform:
+    def test_functions_registered(self):
+        _, table = instrument_source(SAMPLE, constructs=("function",))
+        names = [c.name for c in table.by_kind("function")]
+        assert names == ["helper", "work"]
+        assert table[0].location.lineno > 0
+
+    def test_loops_registered(self):
+        _, table = instrument_source(SAMPLE, constructs=("function", "loop"))
+        assert len(table.by_kind("loop")) == 1
+        assert table.by_kind("loop")[0].name.startswith("for@")
+
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(ValueError, match="unknown construct"):
+            instrument_source(SAMPLE, constructs=("assignment",))
+
+    def test_transformed_text_visible(self):
+        """The user can inspect the transformed source, as with AIMS."""
+        text = instrumented_text(SAMPLE)
+        assert "__aims__.enter(0)" in text
+        assert "__aims__.exit(__aims_tok_0)" in text
+        assert "finally:" in text
+
+    def test_docstring_preserved(self):
+        text = instrumented_text(SAMPLE)
+        assert "Doc kept intact." in text
+        # Docstring stays first in the body, before the monitor call.
+        assert text.index("Doc kept intact") < text.index("__aims__.enter(0)")
+
+
+class TestInstrumentedExecution:
+    def _run(self, constructs=("function",), n=4):
+        rt = mp.Runtime(1)
+        recorder = TraceRecorder(1)
+        monitor = AimsMonitor(rt, recorder)
+        module = load_instrumented_module(SAMPLE, monitor, constructs=constructs)
+
+        def prog(comm):
+            return module.work(n)
+
+        rt.run(prog)
+        return rt, monitor, recorder.snapshot()
+
+    def test_results_unchanged(self):
+        rt, _, _ = self._run(n=5)
+        assert rt.results() == [2 * sum(range(5))]
+
+    def test_entry_exit_records(self):
+        _, monitor, tr = self._run(n=4)
+        entries = tr.of_kind(EventKind.FUNC_ENTRY)
+        exits = tr.of_kind(EventKind.FUNC_EXIT)
+        # work once + helper 4 times.
+        assert len(entries) == len(exits) == 5
+        assert monitor.enter_count == 5
+
+    def test_loop_resolution(self):
+        """Finer constructs => more records ("arbitrary level of
+        resolution")."""
+        _, _, coarse = self._run(constructs=("function",))
+        _, _, fine = self._run(constructs=("function", "loop"))
+        assert len(fine) > len(coarse)
+        assert len(fine.of_kind(EventKind.LOOP_ENTRY)) == 1
+
+    def test_construct_ids_in_records(self):
+        _, monitor, tr = self._run()
+        cids = {r.construct_id for r in tr.of_kind(EventKind.FUNC_ENTRY)}
+        names = {monitor.table[cid].name for cid in cids}
+        assert names == {"helper", "work"}
+
+    def test_toggle_collection(self):
+        rt = mp.Runtime(1)
+        recorder = TraceRecorder(1)
+        monitor = AimsMonitor(rt, recorder)
+        module = load_instrumented_module(SAMPLE, monitor)
+
+        def prog(comm):
+            module.work(2)
+            monitor.set_enabled(False)  # toggle off mid-run (Section 3)
+            module.work(2)
+            monitor.set_enabled(True)
+            return module.work(2)
+
+        rt.run(prog)
+        entries = recorder.snapshot().of_kind(EventKind.FUNC_ENTRY)
+        assert len(entries) == 6  # first and third work(2), not the second
+
+    def test_markers_generated(self):
+        """The replay extension: AIMS monitors generate markers too."""
+        rt, monitor, _ = self._run(n=3)
+        assert rt.procs[0].marker == monitor.enter_count
+
+    def test_flush_on_demand(self, tmp_path):
+        rt = mp.Runtime(1)
+        recorder = TraceRecorder(1)
+        recorder.attach_file(tmp_path / "aims.jsonl")
+        monitor = AimsMonitor(rt, recorder)
+        module = load_instrumented_module(SAMPLE, monitor)
+
+        def prog(comm):
+            module.work(3)
+            return monitor.flush()  # the during-execution flush
+
+        rt.run(prog)
+        assert rt.results()[0] > 0
+
+
+class TestInstrumentFunctionBySource:
+    def test_roundtrip(self):
+        rt = mp.Runtime(1)
+        recorder = TraceRecorder(1)
+        monitor = AimsMonitor(rt, recorder)
+
+        from repro.apps.fibonacci import fib
+
+        inst_fib = instrument_app_function(fib, monitor)
+
+        def prog(comm):
+            return inst_fib(7)
+
+        rt.run(prog)
+        assert rt.results() == [13]
+        # Only the OUTER call is instrumented: the transformed body's
+        # recursive calls refer to the instrumented name too, so every
+        # recursion level reports.
+        assert monitor.enter_count >= 1
+
+    def test_closure_rejected(self):
+        rt = mp.Runtime(1)
+        monitor = AimsMonitor(rt)
+
+        def outer():
+            bound = 3
+
+            def inner(x):
+                return x + bound
+
+            return inner
+
+        with pytest.raises(ValueError, match="closure"):
+            instrument_app_function(outer(), monitor)

@@ -1,0 +1,188 @@
+"""uinst (profile-hook) instrumentation and the UserMonitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.apps import fibonacci as fibmod
+from repro.apps import strassen as stmod
+from repro.instrument import Uinst, UserMonitor, instrument_function
+from repro.trace import EventKind, TraceRecorder
+
+
+class TestUinstAutomatic:
+    def test_function_entries_counted(self):
+        rt = mp.Runtime(1)
+        uinst = Uinst(rt)
+        uinst.register_function(fibmod.fib)
+        rt.run(fibmod.fib_program(10), target_wrappers=[uinst.target_wrapper()])
+        assert uinst.entry_count == fibmod.fib_call_count(10)
+
+    def test_func_entry_exit_records(self):
+        rt = mp.Runtime(1)
+        recorder = TraceRecorder(1)
+        uinst = Uinst(rt, recorder)
+        uinst.register_function(fibmod.fib)
+        rt.run(fibmod.fib_program(6), target_wrappers=[uinst.target_wrapper()])
+        tr = recorder.snapshot()
+        entries = tr.of_kind(EventKind.FUNC_ENTRY)
+        exits = tr.of_kind(EventKind.FUNC_EXIT)
+        assert len(entries) == len(exits) == fibmod.fib_call_count(6)
+        assert all(r.location.function == "fib" for r in entries)
+
+    def test_register_module(self):
+        rt = mp.Runtime(2)
+        uinst = Uinst(rt)
+        uinst.register_module(stmod)
+        assert uinst.instrumented_count > 5  # strassen's helper functions
+        cfg = stmod.StrassenConfig(n=8, nprocs=2)
+        rt.run(
+            stmod.strassen_program(cfg),
+            target_wrappers=[uinst.target_wrapper()],
+        )
+        assert uinst.entry_count > 0
+
+    def test_markers_advance_with_entries(self):
+        rt = mp.Runtime(1)
+        uinst = Uinst(rt)
+        uinst.register_function(fibmod.fib)
+        rt.run(fibmod.fib_program(8), target_wrappers=[uinst.target_wrapper()])
+        assert rt.procs[0].marker == fibmod.fib_call_count(8)
+
+    def test_unregistered_functions_ignored(self):
+        rt = mp.Runtime(1)
+        uinst = Uinst(rt)
+        uinst.register_function(fibmod.fib)
+
+        def prog(comm):
+            return sum(i * i for i in range(50))  # no fib calls
+
+        rt.run(prog, target_wrappers=[uinst.target_wrapper()])
+        assert uinst.entry_count == 0
+
+    def test_non_function_registration_rejected(self):
+        rt = mp.Runtime(1)
+        uinst = Uinst(rt)
+        with pytest.raises(TypeError, match="code object"):
+            uinst.register_function("not a function")
+
+    def test_virtual_cost_dilates_clock(self):
+        def run(charge):
+            rt = mp.Runtime(1)
+            uinst = Uinst(rt, charge_virtual_cost=charge)
+            uinst.register_function(fibmod.fib)
+            rt.run(fibmod.fib_program(10), target_wrappers=[uinst.target_wrapper()])
+            return rt.clocks()[0]
+
+        assert run(True) > run(False)
+
+    def test_threshold_stops_inside_recursion(self):
+        """The debugger can stop fib mid-recursion at an exact call count."""
+        rt = mp.Runtime(1)
+        uinst = Uinst(rt)
+        uinst.register_function(fibmod.fib)
+        rt.launch(fibmod.fib_program(12), target_wrappers=[uinst.target_wrapper()])
+        rt.set_threshold(0, 50)
+        report = rt.run_until_idle()
+        assert report.outcome is mp.RunOutcome.STOPPED
+        assert rt.procs[0].marker == 50
+        rt.set_threshold(0, None)
+        final = rt.resume()
+        assert final.outcome is mp.RunOutcome.FINISHED
+        assert rt.results()[0] == fibmod.fib(12)
+
+
+class TestManualDecorator:
+    def test_decorated_function_fires_monitor(self):
+        rt = mp.Runtime(1)
+        recorder = TraceRecorder(1)
+
+        @instrument_function(rt, recorder)
+        def work(x, y):
+            return x + y
+
+        def prog(comm):
+            return work(2, 3) + work(4, 5)
+
+        rt.run(prog)
+        tr = recorder.snapshot()
+        assert len(tr.of_kind(EventKind.FUNC_ENTRY)) == 2
+        assert rt.results() == [14]
+        assert rt.procs[0].marker == 2
+
+
+class TestUserMonitor:
+    def test_history_records_sites_and_args(self):
+        rt = mp.Runtime(1)
+        rt.launch(fibmod.fib_program(5))
+        monitor = UserMonitor(rt)
+        uinst = Uinst(rt)
+        uinst.register_function(fibmod.fib)
+        # launch() happened without the uinst wrapper; drive manually via
+        # bump_marker to test the hook path instead.
+        rt.run_until_idle()
+        rt.shutdown()
+        assert monitor.total_calls == 0  # no instrumentation => no calls
+
+    def test_monitor_with_uinst(self):
+        rt = mp.Runtime(1)
+        uinst = Uinst(rt)
+        uinst.register_function(fibmod.fib)
+        rt.launch(fibmod.fib_program(6), target_wrappers=[uinst.target_wrapper()])
+        monitor = UserMonitor(rt, history_limit=64)
+        rt.run_until_idle()
+        assert monitor.total_calls == fibmod.fib_call_count(6)
+        entries = monitor.history(0)
+        assert len(entries) == min(64, fibmod.fib_call_count(6))
+        # "records ... the first two arguments": fib has one arg.
+        assert entries[-1].args[0] in {repr(n) for n in range(7)}
+        assert entries[-1].location.function == "fib"
+
+    def test_attach_before_launch_rejected(self):
+        rt = mp.Runtime(1)
+        with pytest.raises(RuntimeError, match="launch"):
+            UserMonitor(rt)
+
+    def test_threshold_api(self):
+        def prog(comm):
+            for _ in range(10):
+                comm.proc.bump_marker()
+
+        rt = mp.Runtime(2)
+        rt.launch(prog)
+        monitor = UserMonitor(rt)
+        monitor.set_thresholds({0: 3, 1: 5})
+        report = rt.run_until_idle()
+        assert report.outcome is mp.RunOutcome.STOPPED
+        assert monitor.marker_vector().as_dict() == {0: 3, 1: 5}
+        monitor.clear_thresholds()
+        rt.resume()
+        rt.shutdown()
+
+    def test_detach(self):
+        def prog(comm):
+            for _ in range(4):
+                comm.proc.bump_marker()
+
+        rt = mp.Runtime(1)
+        rt.launch(prog)
+        monitor = UserMonitor(rt)
+        monitor.detach()
+        rt.run_until_idle()
+        assert monitor.total_calls == 0
+        rt.shutdown()
+
+    def test_entry_at_marker(self):
+        def prog(comm):
+            for _ in range(6):
+                comm.proc.bump_marker()
+
+        rt = mp.Runtime(1)
+        rt.launch(prog)
+        monitor = UserMonitor(rt)
+        rt.run_until_idle()
+        entry = monitor.entry_at_marker(0, 4)
+        assert entry is not None and entry.marker == 4
+        assert monitor.entry_at_marker(0, 99) is None
+        rt.shutdown()

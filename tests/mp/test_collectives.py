@@ -1,0 +1,167 @@
+"""Collective operations built on point-to-point messaging."""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro import mp
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("nprocs", [1, 2, 5, 8])
+    def test_barrier_completes(self, nprocs):
+        def prog(comm):
+            comm.barrier()
+            return comm.rank
+
+        rt = mp.run_program(prog, nprocs)
+        assert rt.results() == list(range(nprocs))
+
+    def test_barrier_synchronizes_virtual_time(self):
+        """After a barrier, nobody's clock is behind the slowest arrival."""
+        after = {}
+
+        def prog(comm):
+            comm.compute(100.0 if comm.rank == 2 else 1.0)
+            comm.barrier()
+            after[comm.rank] = comm.proc.clock.now
+
+        mp.run_program(prog, 4)
+        # Every rank's first post-barrier instant is >= the slowest
+        # pre-barrier clock (rank 2's 100.0).
+        assert all(t >= 100.0 for t in after.values())
+
+
+class TestBcastScatterGather:
+    def test_bcast_from_nonzero_root(self):
+        def prog(comm):
+            data = {"v": 7} if comm.rank == 2 else None
+            return comm.bcast(data, root=2)
+
+        rt = mp.run_program(prog, 4)
+        assert rt.results() == [{"v": 7}] * 4
+
+    def test_scatter_round_trip(self):
+        def prog(comm):
+            objs = [f"piece{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        rt = mp.run_program(prog, 4)
+        assert rt.results() == [f"piece{r}" for r in range(4)]
+
+    def test_scatter_wrong_length_raises(self):
+        def prog(comm):
+            comm.scatter(["only-one"], root=0)
+
+        with pytest.raises(ValueError, match="scatter"):
+            mp.run_program(prog, 3)
+
+    def test_gather_rank_order(self):
+        def prog(comm):
+            return comm.gather(comm.rank * 10, root=1)
+
+        rt = mp.run_program(prog, 4)
+        assert rt.results()[1] == [0, 10, 20, 30]
+        assert rt.results()[0] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        rt = mp.run_program(prog, 3)
+        assert rt.results() == [["a", "b", "c"]] * 3
+
+
+class TestReductions:
+    def test_reduce_sum_default(self):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, root=0)
+
+        rt = mp.run_program(prog, 4)
+        assert rt.results()[0] == 10
+
+    def test_reduce_noncommutative_op_rank_order(self):
+        def prog(comm):
+            return comm.reduce(str(comm.rank), op=operator.add, root=0)
+
+        rt = mp.run_program(prog, 5)
+        assert rt.results()[0] == "01234"
+
+    def test_allreduce_max(self):
+        def prog(comm):
+            return comm.allreduce((comm.rank * 37) % 11, op=max)
+
+        rt = mp.run_program(prog, 6)
+        expected = max((r * 37) % 11 for r in range(6))
+        assert rt.results() == [expected] * 6
+
+    def test_allreduce_numpy_arrays(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, comm.rank, dtype=np.int64))
+
+        rt = mp.run_program(prog, 4)
+        for out in rt.results():
+            np.testing.assert_array_equal(out, np.full(3, 6))
+
+    def test_scan_prefix_sums(self):
+        def prog(comm):
+            return comm.scan(comm.rank + 1)
+
+        rt = mp.run_program(prog, 5)
+        assert rt.results() == [1, 3, 6, 10, 15]
+
+
+class TestAlltoall:
+    def test_alltoall_transpose(self):
+        def prog(comm):
+            objs = [(comm.rank, j) for j in range(comm.size)]
+            return comm.alltoall(objs)
+
+        rt = mp.run_program(prog, 4)
+        for r, out in enumerate(rt.results()):
+            assert out == [(j, r) for j in range(4)]
+
+    def test_alltoall_wrong_length(self):
+        def prog(comm):
+            comm.alltoall([1])
+
+        with pytest.raises(ValueError, match="alltoall"):
+            mp.run_program(prog, 3)
+
+
+class TestCollectivesGenerateMessages:
+    def test_bcast_message_count(self):
+        """A linear bcast on p ranks is p-1 messages."""
+
+        def prog(comm):
+            comm.bcast("x", root=0)
+
+        rt = mp.Runtime(6)
+        rt.run(prog)
+        assert rt.messages_sent == 5
+
+    def test_collective_tags_reserved(self):
+        """User tags at the reserved boundary are rejected."""
+
+        def prog(comm):
+            comm.send(1, dest=0, tag=mp.TAG_UB + 1)
+
+        with pytest.raises(mp.InvalidTagError):
+            mp.run_program(prog, 1)
+
+    def test_user_traffic_does_not_cross_match_collectives(self):
+        """A pending user-tag message never satisfies barrier plumbing."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("user-data", dest=1, tag=5)
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(source=0, tag=5)
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results()[1] == "user-data"

@@ -1,0 +1,308 @@
+"""Point-to-point semantics of the simulated runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mp
+
+
+def run(program, nprocs, **kw):
+    return mp.run_program(program, nprocs, **kw)
+
+
+class TestBasicSendRecv:
+    def test_two_rank_roundtrip(self):
+        results = {}
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"x": 41}, dest=1, tag=7)
+                return comm.recv(source=1, tag=8)
+            payload = comm.recv(source=0, tag=7)
+            comm.send(payload["x"] + 1, dest=0, tag=8)
+            return payload
+
+        rt = run(prog, 2)
+        results = rt.results()
+        assert results[0] == 42
+        assert results[1] == {"x": 41}
+
+    def test_send_copies_arrays(self):
+        """Mutating the send buffer after send must not alter the message."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                a = np.arange(4)
+                comm.send(a, dest=1)
+                a[:] = -1  # sender reuses the buffer
+                return None
+            got = comm.recv(source=0)
+            return got.tolist()
+
+        rt = run(prog, 2)
+        assert rt.results()[1] == [0, 1, 2, 3]
+
+    def test_self_send(self):
+        """A buffered send to self followed by a recv works (no deadlock)."""
+
+        def prog(comm):
+            comm.send("me", dest=comm.rank, tag=3)
+            return comm.recv(source=comm.rank, tag=3)
+
+        rt = run(prog, 1)
+        assert rt.results() == ["me"]
+
+    def test_status_filled(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1, tag=5)
+                return None
+            st = mp.Status()
+            comm.recv(source=mp.ANY_SOURCE, tag=mp.ANY_TAG, status=st)
+            return (st.source, st.tag, st.count)
+
+        rt = run(prog, 2)
+        assert rt.results()[1] == (0, 5, 10)
+
+    def test_proc_null_send_recv(self):
+        def prog(comm):
+            comm.send("into the void", dest=mp.PROC_NULL)
+            return comm.recv(source=mp.PROC_NULL)
+
+        rt = run(prog, 1)
+        assert rt.results() == [None]
+
+    def test_invalid_rank_raises(self):
+        def prog(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(mp.InvalidRankError):
+            run(prog, 2)
+
+    def test_invalid_tag_raises(self):
+        def prog(comm):
+            comm.send(1, dest=0, tag=-5)
+
+        with pytest.raises(mp.InvalidTagError):
+            run(prog, 1)
+
+    def test_user_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom at rank 1")
+
+        with pytest.raises(ValueError, match="boom at rank 1"):
+            run(prog, 2)
+
+
+class TestNonOvertaking:
+    def test_same_tag_fifo(self):
+        """Messages with equal (src, dst, tag) arrive in send order."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=4)
+                return None
+            return [comm.recv(source=0, tag=4) for _ in range(20)]
+
+        rt = run(prog, 2)
+        assert rt.results()[1] == list(range(20))
+
+    def test_tag_selective_receive_out_of_order(self):
+        """Receives may pick later-tagged messages first; FIFO holds per tag."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a0", dest=1, tag=1)
+                comm.send("b0", dest=1, tag=2)
+                comm.send("a1", dest=1, tag=1)
+                return None
+            first_b = comm.recv(source=0, tag=2)
+            then_a = [comm.recv(source=0, tag=1) for _ in range(2)]
+            return [first_b] + then_a
+
+        rt = run(prog, 2)
+        assert rt.results()[1] == ["b0", "a0", "a1"]
+
+    def test_wildcard_takes_earliest_arrival(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=2, tag=9)
+            elif comm.rank == 1:
+                # rank 1 waits for a go-ahead so its message arrives second
+                comm.recv(source=2, tag=0)
+                comm.send("second", dest=2, tag=9)
+            else:
+                got1 = comm.recv(source=0, tag=9)
+                comm.send(None, dest=1, tag=0)
+                got2 = comm.recv(source=mp.ANY_SOURCE, tag=9)
+                return [got1, got2]
+
+        rt = run(prog, 3)
+        assert rt.results()[2] == ["first", "second"]
+
+    def test_seq_numbers_unique_per_triple(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for _ in range(3):
+                    comm.send(0, dest=1, tag=1)
+                for _ in range(2):
+                    comm.send(0, dest=1, tag=2)
+            else:
+                for _ in range(5):
+                    comm.recv(source=0)
+
+        rt = mp.Runtime(2)
+        rt.run(prog)
+        envs = list(rt.comm_log.recv_matches.values())
+        tag1 = sorted(e.seq for e in envs if e.tag == 1)
+        tag2 = sorted(e.seq for e in envs if e.tag == 2)
+        assert tag1 == [0, 1, 2]
+        assert tag2 == [0, 1]
+
+
+class TestSynchronousAndReadyModes:
+    def test_ssend_completes_on_match(self):
+        order = []
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.ssend("sync", dest=1)
+                order.append("send-done")
+            else:
+                comm.compute(50.0)
+                order.append("pre-recv")
+                got = comm.recv(source=0)
+                order.append("recv-done")
+                return got
+
+        rt = run(prog, 2)
+        assert rt.results()[1] == "sync"
+        assert order.index("pre-recv") < order.index("send-done")
+
+    def test_ssend_rendezvous_deadlock(self):
+        """Head-to-head synchronous sends deadlock (classic MPI pitfall)."""
+
+        def prog(comm):
+            other = 1 - comm.rank
+            comm.ssend("x", dest=other)
+            comm.recv(source=other)
+
+        with pytest.raises(mp.DeadlockError) as exc_info:
+            run(prog, 2)
+        kinds = {w.kind for w in exc_info.value.waiting}
+        assert kinds == {mp.WaitKind.SSEND}
+
+    def test_rsend_without_posted_recv_raises(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.rsend("eager", dest=1)
+
+        with pytest.raises(mp.MPIError, match="ready-mode"):
+            run(prog, 2)
+
+    def test_rsend_with_posted_irecv_ok(self):
+        def prog(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0, tag=1)
+                comm.send(None, dest=0, tag=0)  # signal: receive is posted
+                return comm.wait(req)
+            comm.recv(source=1, tag=0)
+            comm.rsend("ready", dest=1, tag=1)
+            return None
+
+        rt = run(prog, 2)
+        assert rt.results()[1] == "ready"
+
+
+class TestDeadlockDetection:
+    def test_mutual_recv_deadlock(self):
+        def prog(comm):
+            other = 1 - comm.rank
+            comm.recv(source=other)  # nobody ever sends
+
+        rt = mp.Runtime(2)
+        report = rt.run(prog, raise_errors=False)
+        assert report.outcome is mp.RunOutcome.DEADLOCK
+        peers = {(w.rank, w.peer) for w in report.waiting}
+        assert peers == {(0, 1), (1, 0)}
+        rt.shutdown()
+
+    def test_partial_progress_then_deadlock(self):
+        """Ranks 0..2 finish a ring; rank 3 waits forever."""
+
+        def prog(comm):
+            if comm.rank < 3:
+                comm.send(comm.rank, dest=(comm.rank + 1) % 3)
+                comm.recv(source=(comm.rank - 1) % 3)
+            else:
+                comm.recv(source=0, tag=77)
+
+        rt = mp.Runtime(4)
+        report = rt.run(prog, raise_errors=False)
+        assert report.outcome is mp.RunOutcome.DEADLOCK
+        assert [w.rank for w in report.waiting] == [3]
+        rt.shutdown()
+
+
+class TestVirtualTime:
+    def test_recv_not_before_send(self):
+        """Trace causality: receive completion >= send time + latency."""
+        seen = {}
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.compute(100.0)
+                comm.send("late", dest=1)
+                seen["send_t"] = comm.last_op.t1
+            else:
+                comm.recv(source=0)
+                seen["recv_t"] = comm.last_op.t1
+
+        run(prog, 2)
+        assert seen["recv_t"] >= seen["send_t"] + mp.CostModel().latency
+
+    def test_compute_advances_clock(self):
+        def prog(comm):
+            comm.compute(12.5)
+            return comm.last_op.t1 - comm.last_op.t0
+
+        rt = run(prog, 1)
+        assert rt.results()[0] == pytest.approx(12.5)
+
+    def test_negative_compute_rejected(self):
+        def prog(comm):
+            comm.compute(-1.0)
+
+        with pytest.raises(ValueError, match="duration"):
+            run(prog, 1)
+
+    def test_cost_model_latency_respected(self):
+        cm = mp.CostModel(latency=123.0, byte_cost=0.0)
+        got = {}
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+                got["sent_at"] = comm.last_op.t1
+            else:
+                comm.recv(source=0)
+                got["recv_at"] = comm.last_op.t1
+
+        mp.run_program(prog, 2, cost_model=cm)
+        assert got["recv_at"] >= got["sent_at"] + 123.0
+
+
+class TestSendRecvCombined:
+    def test_ring_shift(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, sendtag=1,
+                                 source=left, recvtag=1)
+
+        rt = run(prog, 5)
+        assert rt.results() == [4, 0, 1, 2, 3]

@@ -1,0 +1,144 @@
+"""Recording and forcing nondeterministic matching (controlled replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+
+
+def wildcard_gather(comm):
+    """Rank 0 collects one message per worker via ANY_SOURCE."""
+    if comm.rank == 0:
+        got = []
+        for _ in range(comm.size - 1):
+            st = mp.Status()
+            got.append((comm.recv(source=mp.ANY_SOURCE, tag=1, status=st), st.source))
+        return got
+    comm.compute(float((comm.rank * 13) % 5))
+    comm.send(f"msg-{comm.rank}", dest=0, tag=1)
+    return None
+
+
+class TestRecording:
+    def test_comm_log_populated(self):
+        rt = mp.Runtime(4)
+        rt.run(wildcard_gather)
+        recv_keys = [k for k in rt.comm_log.recv_matches if k[0] == 0]
+        assert len(recv_keys) == 3
+
+    def test_log_roundtrips_through_json(self, tmp_path):
+        rt = mp.Runtime(4)
+        rt.run(wildcard_gather)
+        path = tmp_path / "log.json"
+        rt.comm_log.save(path)
+        loaded = mp.CommLog.load(path)
+        assert loaded.recv_matches == rt.comm_log.recv_matches
+        assert loaded.waitany_choices == rt.comm_log.waitany_choices
+
+
+class TestForcedReplay:
+    def test_replay_reproduces_wildcard_matching(self):
+        rt1 = mp.Runtime(5, policy="random", seed=3)
+        rt1.run(wildcard_gather)
+        original = rt1.results()[0]
+
+        rt2 = mp.Runtime(5, policy="random", seed=99, replay_log=rt1.comm_log)
+        rt2.run(wildcard_gather)
+        assert rt2.results()[0] == original
+
+    def test_replay_identical_under_every_policy(self):
+        rt1 = mp.Runtime(5)
+        rt1.run(wildcard_gather)
+        original = rt1.results()[0]
+        for policy in ("run_to_block", "round_robin", "virtual_time"):
+            rt = mp.Runtime(5, policy=policy, replay_log=rt1.comm_log)
+            rt.run(wildcard_gather)
+            assert rt.results()[0] == original, policy
+
+    def test_replay_forces_specific_permutation(self):
+        """Hand-craft a log delivering workers in reverse rank order."""
+        rt1 = mp.Runtime(4)
+        rt1.run(wildcard_gather)
+        # Build a forced log: rank 0's i-th receive gets worker 3-i.
+        forced = mp.CommLog()
+        for i, src in enumerate((3, 2, 1)):
+            forced.record_recv(0, i, mp.Envelope(src=src, dst=0, tag=1, seq=0))
+        rt2 = mp.Runtime(4, replay_log=forced)
+        rt2.run(wildcard_gather)
+        assert [src for (_, src) in rt2.results()[0]] == [3, 2, 1]
+
+    def test_replay_divergence_detected(self):
+        """A receive that cannot match its recorded envelope fails fast."""
+        log = mp.CommLog()
+        log.record_recv(0, 0, mp.Envelope(src=2, dst=0, tag=9, seq=0))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=1)  # incompatible with recorded (2, 9)
+            elif comm.rank == 1:
+                comm.send("x", dest=0, tag=1)
+
+        rt = mp.Runtime(3, replay_log=log)
+        with pytest.raises(mp.ReplayDivergenceError):
+            rt.run(prog)
+
+    def test_replay_waitany_choice(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=s, tag=1) for s in (1, 2)]
+                idx, _ = comm.waitany(reqs)
+                comm.wait(reqs[1 - idx])
+                return idx
+            comm.send(comm.rank, dest=0, tag=1)
+            return None
+
+        forced = mp.CommLog()
+        forced.record_waitany(0, 0, 1)
+        rt = mp.Runtime(3, replay_log=forced)
+        rt.run(prog)
+        assert rt.results()[0] == 1
+
+    def test_replay_past_recorded_history_is_free(self):
+        """Receives beyond the log run unforced (legal continuation)."""
+        log = mp.CommLog()  # empty: everything unforced
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=mp.ANY_SOURCE)
+            comm.send("w", dest=0)
+            return None
+
+        rt = mp.Runtime(2, replay_log=log)
+        rt.run(prog)
+        assert rt.results()[0] == "w"
+
+
+class TestReplayDeterminismEndToEnd:
+    def test_marker_values_reproduce(self):
+        """Replay yields identical per-process final marker values."""
+
+        def prog(comm):
+            comm.proc.bump_marker()
+            if comm.rank == 0:
+                for _ in range(comm.size - 1):
+                    comm.recv(source=mp.ANY_SOURCE, tag=1)
+                    comm.proc.bump_marker()
+            else:
+                comm.send(comm.rank, dest=0, tag=1)
+                comm.proc.bump_marker()
+
+        rt1 = mp.Runtime(4, policy="random", seed=11)
+        rt1.run(prog)
+        markers1 = rt1.markers()
+
+        rt2 = mp.Runtime(4, policy="random", seed=42, replay_log=rt1.comm_log)
+        rt2.run(prog)
+        assert rt2.markers() == markers1
+
+    def test_clock_trajectories_reproduce_same_policy(self):
+        rt1 = mp.Runtime(4)
+        rt1.run(wildcard_gather)
+        rt2 = mp.Runtime(4, replay_log=rt1.comm_log)
+        rt2.run(wildcard_gather)
+        assert rt1.clocks() == rt2.clocks()

@@ -1,0 +1,182 @@
+"""Nonblocking requests: isend/irecv/wait/test/waitall/waitany/cancel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+
+
+class TestIsendIrecv:
+    def test_isend_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend([1, 2, 3], dest=1, tag=2)
+                comm.wait(req)
+                return None
+            return comm.recv(source=0, tag=2)
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results()[1] == [1, 2, 3]
+
+    def test_irecv_posted_before_send(self):
+        def prog(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0, tag=9)
+                comm.send("posted", dest=0, tag=1)
+                return comm.wait(req)
+            comm.recv(source=1, tag=1)
+            comm.send("payload", dest=1, tag=9)
+            return None
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results()[1] == "payload"
+
+    def test_irecv_status_through_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x" * 5, dest=1, tag=3)
+                return None
+            req = comm.irecv(source=mp.ANY_SOURCE, tag=mp.ANY_TAG)
+            st = mp.Status()
+            comm.wait(req, st)
+            return (st.source, st.tag, st.count)
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results()[1] == (0, 3, 5)
+
+    def test_double_wait_raises(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1)
+                return None
+            req = comm.irecv(source=0)
+            comm.wait(req)
+            comm.wait(req)  # second wait on a finalized request
+
+        with pytest.raises(mp.RequestError):
+            mp.run_program(prog, 2)
+
+    def test_test_polls_then_succeeds(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=0)  # wait for rank 1 to poll once
+                comm.send("done", dest=1, tag=5)
+                return None
+            req = comm.irecv(source=0, tag=5)
+            flag, _ = comm.test(req)
+            assert flag is False
+            comm.send(None, dest=0, tag=0)
+            while True:
+                flag, payload = comm.test(req)
+                if flag:
+                    return payload
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results()[1] == "done"
+
+    def test_issend_completes_on_match(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.issend("sync-nb", dest=1)
+                comm.wait(req)
+                return "sender-done"
+            comm.compute(10.0)
+            return comm.recv(source=0)
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results() == ["sender-done", "sync-nb"]
+
+
+class TestWaitallWaitany:
+    def test_waitall_orders_payloads(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=s, tag=1) for s in (1, 2, 3)]
+                return comm.waitall(reqs)
+            comm.compute(float(comm.rank))
+            comm.send(f"from-{comm.rank}", dest=0, tag=1)
+            return None
+
+        rt = mp.run_program(prog, 4)
+        assert rt.results()[0] == ["from-1", "from-2", "from-3"]
+
+    def test_waitall_statuses(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=s) for s in (1, 2)]
+                statuses: list[mp.Status] = []
+                comm.waitall(reqs, statuses)
+                return [(s.source, s.count) for s in statuses]
+            comm.send([0] * (comm.rank * 2), dest=0)
+            return None
+
+        rt = mp.run_program(prog, 3)
+        assert rt.results()[0] == [(1, 2), (2, 4)]
+
+    def test_waitany_returns_a_completed_index(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=s, tag=1) for s in (1, 2)]
+                idx, payload = comm.waitany(reqs)
+                rest = comm.wait(reqs[1 - idx])
+                return sorted([payload, rest])
+            comm.send(f"w{comm.rank}", dest=0, tag=1)
+            return None
+
+        rt = mp.run_program(prog, 3)
+        assert rt.results()[0] == ["w1", "w2"]
+
+    def test_waitany_choice_recorded(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=s, tag=1) for s in (1, 2)]
+                comm.waitany(reqs)
+                comm.wait(reqs[1])  # may already be done; rely on index 0 won
+            else:
+                comm.send(comm.rank, dest=0, tag=1)
+
+        rt = mp.Runtime(3)
+        rt.run(prog)
+        assert (0, 0) in rt.comm_log.waitany_choices
+
+    def test_waitany_empty_raises(self):
+        def prog(comm):
+            comm.waitany([])
+
+        with pytest.raises(mp.RequestError):
+            mp.run_program(prog, 1)
+
+
+class TestCancel:
+    def test_cancel_unmatched_irecv(self):
+        def prog(comm):
+            req = comm.irecv(source=0, tag=99)
+            ok = comm.cancel(req)
+            st = mp.Status()
+            payload = comm.wait(req, st)
+            return (ok, payload, st.cancelled)
+
+        rt = mp.run_program(prog, 1)
+        assert rt.results()[0] == (True, None, True)
+
+    def test_cancel_matched_irecv_fails(self):
+        def prog(comm):
+            comm.send("already", dest=0, tag=1)
+            req = comm.irecv(source=0, tag=1)  # matches instantly
+            ok = comm.cancel(req)
+            return (ok, comm.wait(req))
+
+        rt = mp.run_program(prog, 1)
+        assert rt.results()[0] == (False, "already")
+
+    def test_cancel_send_request_fails(self):
+        def prog(comm):
+            req = comm.isend("x", dest=0, tag=1)
+            ok = comm.cancel(req)
+            comm.recv(source=0, tag=1)
+            comm.wait(req)
+            return ok
+
+        rt = mp.run_program(prog, 1)
+        assert rt.results()[0] is False

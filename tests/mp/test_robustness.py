@@ -1,0 +1,202 @@
+"""Robustness and edge cases across the substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from tests.conftest import traced_run
+
+
+class TestPolicyPreemption:
+    def test_virtual_time_interleaves_unequal_work(self):
+        """Under virtual_time, a cheap process overtakes an expensive one
+        at yield points."""
+        order: list[tuple[int, float]] = []
+
+        def prog(comm):
+            for _ in range(4):
+                comm.compute(10.0 if comm.rank == 0 else 1.0)
+                order.append((comm.rank, comm.proc.clock.now))
+
+        rt = mp.Runtime(2, policy="virtual_time")
+        recorder_less_run = rt.run(prog)
+        rt.shutdown()
+        del recorder_less_run
+        # Rank 1 (cheap) finishes all its work before rank 0's last step.
+        r1_last = max(t for r, t in order if r == 1)
+        r0_last = max(t for r, t in order if r == 0)
+        assert r1_last < r0_last
+
+    def test_round_robin_alternates(self):
+        grants: list[int] = []
+
+        def prog(comm):
+            for _ in range(3):
+                comm.compute(1.0)
+
+        rt = mp.Runtime(2, policy="round_robin")
+        rt.scheduler.grant_hooks.append(lambda p: grants.append(p.rank))
+        rt.run(prog)
+        rt.shutdown()
+        # With preemption at every compute, ranks strictly alternate.
+        switches = sum(1 for a, b in zip(grants, grants[1:]) if a != b)
+        assert switches >= len(grants) - 2
+
+    def test_random_policy_preempts_sometimes(self):
+        def prog(comm):
+            for _ in range(10):
+                comm.compute(1.0)
+
+        grants: list[int] = []
+        rt = mp.Runtime(2, policy="random", seed=1)
+        rt.scheduler.grant_hooks.append(lambda p: grants.append(p.rank))
+        rt.run(prog)
+        rt.shutdown()
+        assert len(set(grants)) == 2
+
+
+class TestErrorPaths:
+    def test_exception_in_collective_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("mid-collective crash")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="mid-collective"):
+            mp.run_program(prog, 3)
+
+    def test_exception_during_split(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("pre-split crash")
+            comm.split(color=0)
+
+        rt = mp.Runtime(2)
+        report = rt.run(prog, raise_errors=False)
+        assert report.outcome is mp.RunOutcome.ERROR
+        rt.shutdown()
+
+    def test_traceback_preserved(self):
+        def prog(comm):
+            raise KeyError("inspect me")
+
+        rt = mp.Runtime(1)
+        rt.run(prog, raise_errors=False)
+        assert "inspect me" in rt.procs[0].traceback_text
+        assert rt.first_exception() is rt.procs[0].exception
+        rt.shutdown()
+
+    def test_shutdown_during_barrier(self):
+        """Processes parked inside a collective unwind cleanly."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=99)  # never satisfied
+            else:
+                comm.barrier()  # blocks: rank 0 never joins
+
+        rt = mp.Runtime(3)
+        report = rt.run(prog, raise_errors=False)
+        assert report.outcome is mp.RunOutcome.DEADLOCK
+        rt.shutdown()
+        assert all(p.terminated for p in rt.procs)
+
+    def test_current_proc_outside_worker_rejected(self):
+        rt = mp.Runtime(1)
+        rt.launch(lambda comm: None)
+        with pytest.raises(RuntimeError, match="not a .*simulated process"):
+            rt.current_proc()
+        rt.run_until_idle()
+        rt.shutdown()
+
+
+class TestMixedTraffic:
+    def test_interleaved_wildcard_and_directed(self):
+        """Directed receives never steal messages a wildcard should get
+        first by arrival order, and vice versa."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                got_any = comm.recv(source=mp.ANY_SOURCE, tag=1)
+                got_two = comm.recv(source=2, tag=1)
+                return (got_any, got_two)
+            comm.compute(float(comm.rank))
+            comm.send(f"w{comm.rank}", dest=0, tag=1)
+            return None
+
+        rt = mp.run_program(prog, 3)
+        got_any, got_two = rt.results()[0]
+        assert got_two == "w2"
+        assert got_any in ("w1", "w2")
+
+    def test_probe_then_directed_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                st = mp.Status()
+                comm.probe(source=mp.ANY_SOURCE, tag=5, status=st)
+                # Receive from exactly the probed source.
+                return comm.recv(source=st.source, tag=5)
+            comm.send(f"from-{comm.rank}", dest=0, tag=5)
+            return None
+
+        rt = mp.run_program(prog, 3)
+        assert rt.results()[0].startswith("from-")
+
+    def test_many_small_messages_fifo_stress(self):
+        N = 200
+
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(N):
+                    comm.send(i, dest=1, tag=i % 3)
+                return None
+            out = {0: [], 1: [], 2: []}
+            for _ in range(N):
+                st = mp.Status()
+                val = comm.recv(source=0, tag=mp.ANY_TAG, status=st)
+                out[st.tag].append(val)
+            return out
+
+        rt = mp.run_program(prog, 2)
+        buckets = rt.results()[1]
+        for tag, values in buckets.items():
+            assert values == sorted(values)  # per-tag FIFO preserved
+            assert all(v % 3 == tag for v in values)
+
+
+class TestVizEdgeCases:
+    def test_empty_trace_renders(self):
+        from repro.trace import Trace
+        from repro.viz import build_diagram, render_ascii, render_svg
+
+        tr = Trace([], 3)
+        dia = build_diagram(tr)
+        assert render_ascii(dia, columns=20)
+        assert render_svg(dia).startswith("<svg")
+
+    def test_single_event_trace(self):
+        from repro.viz import build_diagram, render_ascii
+
+        def prog(comm):
+            comm.compute(5.0)
+
+        _, tr = traced_run(prog, 1)
+        text = render_ascii(build_diagram(tr), columns=30)
+        assert "=" in text  # the compute bar
+
+    def test_message_hit_tolerance(self):
+        from repro.viz import build_diagram
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+            else:
+                comm.recv(source=0)
+
+        _, tr = traced_run(prog, 2)
+        dia = build_diagram(tr)
+        msg = dia.messages[0]
+        before = msg.t_sent - 0.5
+        assert dia.hit_test_message(before) is None
+        assert dia.hit_test_message(before, tolerance=1.0) is msg

@@ -1,0 +1,172 @@
+"""Sub-communicators via ``Comm.split`` (MPI_Comm_split semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.instrument import WrapperLibrary
+from repro.trace import TraceRecorder
+
+
+class TestSplitBasics:
+    def test_even_odd_split(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            assert sub is not None
+            return (sub.rank, sub.size, sub.comm_id)
+
+        rt = mp.run_program(prog, 6)
+        ranks = rt.results()
+        evens = [ranks[r] for r in (0, 2, 4)]
+        odds = [ranks[r] for r in (1, 3, 5)]
+        assert [e[0] for e in evens] == [0, 1, 2]
+        assert [o[0] for o in odds] == [0, 1, 2]
+        assert all(e[1] == 3 for e in evens + odds)
+        # The two groups live in distinct matching contexts.
+        assert evens[0][2] != odds[0][2]
+        assert all(e[2] == evens[0][2] for e in evens)
+
+    def test_undefined_color_returns_none(self):
+        def prog(comm):
+            sub = comm.split(color=None if comm.rank == 2 else 0)
+            return None if sub is None else sub.size
+
+        rt = mp.run_program(prog, 4)
+        assert rt.results() == [3, 3, None, 3]
+
+    def test_key_orders_ranks(self):
+        def prog(comm):
+            # Reverse ordering: higher old rank -> lower key.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        rt = mp.run_program(prog, 4)
+        assert rt.results() == [3, 2, 1, 0]
+
+    def test_world_rank_preserved(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank // 2)
+            return (comm.rank, sub.world_rank)
+
+        rt = mp.run_program(prog, 4)
+        assert all(world == rank for rank, world in rt.results())
+
+
+class TestSubcommTraffic:
+    def test_p2p_in_subcomm_uses_group_ranks(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                sub.send(f"group-{comm.rank % 2}", dest=1, tag=5)
+                return None
+            if sub.rank == 1:
+                st = mp.Status()
+                got = sub.recv(source=0, tag=5, status=st)
+                return (got, st.source)
+            return None
+
+        rt = mp.run_program(prog, 4)
+        # World ranks 2 and 3 are sub-rank 1 of their groups.
+        assert rt.results()[2] == ("group-0", 0)
+        assert rt.results()[3] == ("group-1", 0)
+
+    def test_same_tag_does_not_cross_communicators(self):
+        """Identical (src, dst, tag) traffic on two comms never mixes."""
+
+        def prog(comm):
+            sub = comm.split(color=0)  # same membership, new context
+            if comm.rank == 0:
+                comm.send("world", dest=1, tag=9)
+                sub.send("sub", dest=1, tag=9)
+                return None
+            # Receive from the subcomm FIRST: must get the subcomm
+            # message even though the world message arrived earlier.
+            got_sub = sub.recv(source=0, tag=9)
+            got_world = comm.recv(source=0, tag=9)
+            return (got_sub, got_world)
+
+        rt = mp.run_program(prog, 2)
+        assert rt.results()[1] == ("sub", "world")
+
+    def test_collectives_within_subgroups(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            total = sub.allreduce(comm.rank)
+            sub.barrier()
+            return total
+
+        rt = mp.run_program(prog, 6)
+        assert rt.results() == [6, 9, 6, 9, 6, 9]  # 0+2+4 and 1+3+5
+
+    def test_wildcards_within_subcomm_only(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                got = [sub.recv(source=mp.ANY_SOURCE, tag=1) for _ in range(sub.size - 1)]
+                return sorted(got)
+            sub.send(comm.rank, dest=0, tag=1)
+            return None
+
+        rt = mp.run_program(prog, 6)
+        assert rt.results()[0] == [2, 4]
+        assert rt.results()[1] == [3, 5]
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = comm.split(color=comm.rank // 4)  # two groups of 4
+            quarter = half.split(color=half.rank // 2)  # pairs
+            return (half.size, quarter.size, quarter.rank)
+
+        rt = mp.run_program(prog, 8)
+        assert all(h == 4 and q == 2 and r in (0, 1) for h, q, r in rt.results())
+
+    def test_subcomm_replay(self):
+        """Wildcard matching inside a subcomm replays deterministically."""
+
+        def prog(comm):
+            sub = comm.split(color=0)
+            if sub.rank == 0:
+                return [sub.recv(source=mp.ANY_SOURCE, tag=2) for _ in range(3)]
+            comm.compute(float((comm.rank * 7) % 3))
+            sub.send(comm.rank, dest=0, tag=2)
+            return None
+
+        rt1 = mp.Runtime(4, policy="random", seed=5)
+        rt1.run(prog)
+        rt2 = mp.Runtime(4, policy="random", seed=77, replay_log=rt1.comm_log)
+        rt2.run(prog)
+        assert rt1.results()[0] == rt2.results()[0]
+
+    def test_traced_subcomm_traffic_has_world_ranks(self):
+        """Trace records carry world endpoints so the time-space diagram
+        stays rank-global even for subcomm traffic."""
+
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                sub.send("x", dest=1, tag=3)
+            elif sub.rank == 1:
+                sub.recv(source=0, tag=3)
+
+        rt = mp.Runtime(4)
+        recorder = TraceRecorder(4)
+        WrapperLibrary(rt, recorder)
+        rt.run(prog)
+        rt.shutdown()
+        tr = recorder.snapshot()
+        user_sends = [r for r in tr if r.is_send and r.tag == 3]
+        assert {(s.src, s.dst) for s in user_sends} == {(0, 2), (1, 3)}
+
+    def test_deadlock_across_subcomms_detected(self):
+        def prog(comm):
+            sub = comm.split(color=0)
+            sub.recv(source=(sub.rank + 1) % sub.size, tag=1)
+
+        rt = mp.Runtime(3)
+        report = rt.run(prog, raise_errors=False)
+        assert report.outcome is mp.RunOutcome.DEADLOCK
+        # WaitInfo peers are world ranks: the cycle is visible globally.
+        peers = {w.rank: w.peer for w in report.waiting}
+        assert peers == {0: 1, 1: 2, 2: 0}
+        rt.shutdown()

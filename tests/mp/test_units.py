@@ -1,0 +1,142 @@
+"""Unit tests of the small substrate modules: clock, messages, status,
+locations, envelope keys."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mp
+from repro.mp.clock import CostModel, VirtualClock
+from repro.mp.envelopeutil import envelope_key_str, parse_envelope_key
+from repro.mp.locutil import caller_location, is_infrastructure_file
+from repro.mp.message import Envelope, Message, copy_payload, payload_size
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_only_forward(self):
+        clock = VirtualClock(now=10.0)
+        assert clock.advance_to(5.0) == 10.0  # never backwards
+        assert clock.advance_to(15.0) == 15.0
+
+    def test_checkpoint_history(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clock.checkpoint()
+        clock.advance(2.0)
+        clock.checkpoint()
+        assert clock.history == (1.0, 3.0)
+
+
+class TestCostModel:
+    def test_transfer_time_components(self):
+        cm = CostModel(latency=10.0, byte_cost=0.5)
+        assert cm.transfer_time(0) == 10.0
+        assert cm.transfer_time(4) == 12.0
+
+    def test_defaults_positive(self):
+        cm = CostModel()
+        assert cm.latency > 0 and cm.send_overhead > 0
+        assert cm.call_overhead < cm.send_overhead  # calls cheaper than msgs
+
+
+class TestPayloads:
+    def test_payload_size_kinds(self):
+        assert payload_size(None) == 0
+        assert payload_size(np.zeros((3, 4))) == 12
+        assert payload_size("hello") == 5
+        assert payload_size(b"ab") == 2
+        assert payload_size([1, 2, 3]) == 3
+        assert payload_size({"a": 1}) == 1
+        assert payload_size(42) == 1
+        assert payload_size(object()) == 1
+
+    def test_copy_payload_arrays_independent(self):
+        a = np.arange(3)
+        c = copy_payload(a)
+        a[0] = 99
+        assert c[0] == 0
+
+    def test_copy_payload_immutables_pass_through(self):
+        s = "immutable"
+        assert copy_payload(s) is s
+        assert copy_payload(7) == 7
+        t = (np.zeros(2), "x")
+        ct = copy_payload(t)
+        t[0][0] = 5.0
+        assert ct[0][0] == 0.0  # tuple elements deep-copied
+
+    def test_copy_payload_containers_deep(self):
+        d = {"xs": [1, 2]}
+        c = copy_payload(d)
+        d["xs"].append(3)
+        assert c["xs"] == [1, 2]
+
+
+class TestEnvelopes:
+    def test_matches_wildcards(self):
+        msg = Message(envelope=Envelope(2, 0, 5, 0), payload=None)
+        assert msg.matches(mp.ANY_SOURCE, mp.ANY_TAG)
+        assert msg.matches(2, 5)
+        assert not msg.matches(1, 5)
+        assert not msg.matches(2, 6)
+
+    def test_key_roundtrip(self):
+        env = Envelope(src=3, dst=1, tag=42, seq=7)
+        assert parse_envelope_key(envelope_key_str(env)) == env
+
+    def test_msg_ids_unique(self):
+        a = Message(envelope=Envelope(0, 1, 0, 0), payload=None)
+        b = Message(envelope=Envelope(0, 1, 0, 1), payload=None)
+        assert a.msg_id != b.msg_id
+
+
+class TestLocUtil:
+    def test_infrastructure_detection(self):
+        import os
+
+        assert is_infrastructure_file(
+            os.path.join("x", "repro", "mp", "comm.py")
+        )
+        assert is_infrastructure_file(
+            os.path.join("x", "repro", "debugger", "session.py")
+        )
+        assert not is_infrastructure_file(
+            os.path.join("x", "repro", "apps", "strassen.py")
+        )
+        assert not is_infrastructure_file("user_code.py")
+
+    def test_caller_location_points_here(self):
+        loc = caller_location(skip=0)
+        assert loc.filename.endswith("test_units.py")
+        assert loc.function == "test_caller_location_points_here"
+
+
+class TestStatus:
+    def test_accessors(self):
+        st = mp.Status(source=2, tag=3, count=4)
+        assert st.get_source() == 2
+        assert st.get_tag() == 3
+        assert st.get_count() == 4
+        assert st.is_cancelled() is False
+
+    def test_set_from(self):
+        a = mp.Status()
+        a.set_from(mp.Status(source=1, tag=2, count=3, cancelled=True))
+        assert (a.source, a.tag, a.count, a.cancelled) == (1, 2, 3, True)
+
+
+class TestWaitInfoDisplay:
+    def test_str(self):
+        w = mp.WaitInfo(3, mp.WaitKind.RECV, 1, 9)
+        text = str(w)
+        assert "proc 3" in text and "recv" in text and "peer=1" in text

@@ -1,0 +1,155 @@
+"""Property-based tests of the mailbox matching rules.
+
+These check the invariants the whole trace-graph construction rests on
+(DESIGN.md "Key invariants"): non-overtaking order per (src, tag),
+wildcard determinism (smallest arrival order), posted-receive priority,
+and conservation (every deposit is eventually matched or still queued).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.mp.channel import Mailbox
+from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mp.message import Envelope, Message
+
+# A script is a list of operations against one mailbox (owner rank 0):
+#   ("send", src, tag)   deposit the next message from src with tag
+#   ("recv", src, tag)   post a receive (possibly with wildcards)
+sends = hst.tuples(
+    hst.just("send"), hst.integers(0, 3), hst.integers(0, 2)
+)
+recvs = hst.tuples(
+    hst.just("recv"),
+    hst.sampled_from([ANY_SOURCE, 0, 1, 2, 3]),
+    hst.sampled_from([ANY_TAG, 0, 1, 2]),
+)
+scripts = hst.lists(hst.one_of(sends, recvs), min_size=1, max_size=40)
+
+
+def run_script(script):
+    """Execute a script; returns (mailbox, matches) where matches is a
+    list of (posted pattern, matched envelope) in completion order."""
+    box = Mailbox(owner_rank=0)
+    matches: list[tuple[tuple[int, int], Envelope]] = []
+    box.on_message_matched = lambda msg, pending: matches.append(
+        ((pending.source, pending.tag), msg.envelope)
+    )
+    seq_counter: dict[tuple[int, int], int] = {}
+    arrival = 0
+    for op, a, b in script:
+        if op == "send":
+            key = (a, b)
+            seq = seq_counter.get(key, 0)
+            seq_counter[key] = seq + 1
+            msg = Message(envelope=Envelope(src=a, dst=0, tag=b, seq=seq), payload=None)
+            msg.arrival_order = arrival
+            arrival += 1
+            box.deposit(msg)
+        else:
+            box.post(a, b)
+    return box, matches
+
+
+@settings(max_examples=200, deadline=None)
+@given(scripts)
+def test_non_overtaking_per_src_tag(script):
+    """Matched envelopes from one (src, tag) complete in seq order."""
+    _, matches = run_script(script)
+    seen: dict[tuple[int, int], int] = {}
+    for _, env in matches:
+        key = (env.src, env.tag)
+        last = seen.get(key, -1)
+        assert env.seq == last + 1, f"overtaking on {key}: {env.seq} after {last}"
+        seen[key] = env.seq
+
+
+@settings(max_examples=200, deadline=None)
+@given(scripts)
+def test_matches_satisfy_posted_patterns(script):
+    """Every match respects the receive's (source, tag) pattern."""
+    _, matches = run_script(script)
+    for (src, tag), env in matches:
+        assert src in (ANY_SOURCE, env.src)
+        assert tag in (ANY_TAG, env.tag)
+
+
+@settings(max_examples=200, deadline=None)
+@given(scripts)
+def test_conservation(script):
+    """deposited == matched + still queued; posts == matched + pending."""
+    box, matches = run_script(script)
+    n_posts = sum(1 for op, *_ in script if op == "recv")
+    n_sends = sum(1 for op, *_ in script if op == "send")
+    assert box.total_deposited == n_sends
+    assert box.total_matched == len(matches)
+    assert n_sends == len(matches) + len(box.queued_messages)
+    assert n_posts == len(matches) + len(box.posted_receives)
+
+
+@settings(max_examples=200, deadline=None)
+@given(scripts)
+def test_no_simultaneous_match_candidates_left(script):
+    """Quiescence: no queued message satisfies any pending receive."""
+    box, _ = run_script(script)
+    for pending in box.posted_receives:
+        for msg in box.queued_messages:
+            assert not pending.accepts(msg), (
+                f"mailbox left {msg.envelope} deliverable to "
+                f"({pending.source},{pending.tag})"
+            )
+
+
+@settings(max_examples=150, deadline=None)
+@given(scripts)
+def test_determinism(script):
+    """The same script always yields the same match sequence."""
+    _, m1 = run_script(script)
+    _, m2 = run_script(script)
+    assert m1 == m2
+
+
+@settings(max_examples=150, deadline=None)
+@given(scripts)
+def test_wildcard_takes_earliest_arrival(script):
+    """When a wildcard receive matches from the queue, it takes the
+    queued message with the smallest arrival order among candidates."""
+    box = Mailbox(owner_rank=0)
+    taken: list[Message] = []
+    queued_before: list[list[Message]] = []
+
+    original_take = box._take_queued
+
+    def spying_take(pending):
+        queued_before.append(list(box._queued))
+        msg = original_take(pending)
+        if msg is not None:
+            taken.append((pending, msg))
+        else:
+            queued_before.pop()
+        return msg
+
+    box._take_queued = spying_take
+    seq_counter: dict[tuple[int, int], int] = {}
+    arrival = 0
+    for op, a, b in script:
+        if op == "send":
+            key = (a, b)
+            seq = seq_counter.get(key, 0)
+            seq_counter[key] = seq + 1
+            msg = Message(envelope=Envelope(src=a, dst=0, tag=b, seq=seq), payload=None)
+            msg.arrival_order = arrival
+            arrival += 1
+            box.deposit(msg)
+        else:
+            box.post(a, b)
+    for (pending, msg), snapshot in zip(taken, queued_before):
+        # NB: use the raw pattern -- pending.accepts() refuses once the
+        # receive is matched, and by now it is.
+        candidates = [
+            m for m in snapshot if m.matches(pending.source, pending.tag)
+        ]
+        assert candidates, "a match implies at least one candidate"
+        assert msg.arrival_order == min(c.arrival_order for c in candidates)

@@ -1,0 +1,68 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples are the library's executable documentation; these tests
+keep them working and assert each one's headline claim appears in its
+output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+CASES = {
+    "quickstart.py": ["expected total 21", "SVG written"],
+    "debug_deadlock.py": [
+        "deadlock",
+        "cycle: p0 -> p7 -> p0",
+        "BUG: expected dest=1",
+    ],
+    "undo_and_frontiers.py": [
+        "undo...",
+        "concurrency region",
+        "stopline (past)",
+        "stopline (future)",
+    ],
+    "race_hunt.py": [
+        "racing receives found",
+        "reproduces the matching: True",
+        "(p2d2) matching",
+    ],
+    "instrumentation_tour.py": [
+        "__aims__.enter",
+        "trace file: aims_trace.jsonl",
+        "patched entries; function restored",
+    ],
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs(name):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"example {name} missing"
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    for needle in CASES[name]:
+        assert needle in proc.stdout, (
+            f"{name} output missing {needle!r}; got:\n{proc.stdout[-1500:]}"
+        )
+
+
+def test_every_example_covered():
+    """A new example file must be added to the smoke list."""
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(CASES), (
+        "examples and smoke-test list out of sync: "
+        f"missing {shipped ^ set(CASES)}"
+    )

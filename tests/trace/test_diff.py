@@ -1,0 +1,122 @@
+"""Trace diffing and replay-prefix verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.apps import master_worker_program
+from repro.apps import strassen as st
+from repro.trace import diff_traces, verify_replay_prefix
+from tests.conftest import traced_run
+
+
+class TestDiffTraces:
+    def test_identical_runs(self):
+        cfg = st.StrassenConfig(n=8, nprocs=4)
+        _, t1 = traced_run(st.strassen_program(cfg), 4)
+        _, t2 = traced_run(st.strassen_program(cfg), 4)
+        diff = diff_traces(t1, t2, compare_times=True)
+        assert diff.identical
+        assert diff.as_text() == "traces identical"
+
+    def test_different_programs_diverge(self):
+        def prog_a(comm):
+            comm.compute(1.0)
+            comm.compute(1.0)
+
+        def prog_b(comm):
+            comm.compute(1.0)
+            if comm.rank == 1:
+                comm.send("x", dest=0)
+            elif comm.rank == 0:
+                comm.recv(source=1)
+
+        _, ta = traced_run(prog_a, 2)
+        _, tb = traced_run(prog_b, 2)
+        diff = diff_traces(ta, tb)
+        assert not diff.identical
+        first = diff.first()
+        assert first is not None
+        assert diff.common_prefix[first.proc] >= 1  # first compute agrees
+        assert "diverges at event" in diff.as_text()
+
+    def test_shorter_trace_reports_end(self):
+        def short(comm):
+            comm.compute(1.0)
+
+        def long(comm):
+            comm.compute(1.0)
+            comm.compute(1.0)
+
+        _, ts = traced_run(short, 1)
+        _, tl = traced_run(long, 1)
+        diff = diff_traces(ts, tl)
+        assert not diff.identical
+        assert diff.first().left is None  # left ended early
+        assert "<end of trace>" in diff.as_text()
+
+    def test_width_mismatch_rejected(self):
+        _, t2 = traced_run(lambda c: None, 2)
+        _, t3 = traced_run(lambda c: None, 3)
+        with pytest.raises(ValueError, match="different widths"):
+            diff_traces(t2, t3)
+
+    def test_schedules_equivalent_without_times(self):
+        """Different policies: same behaviour, different times."""
+        cfg = st.StrassenConfig(n=8, nprocs=4)
+        _, t1 = traced_run(st.strassen_program(cfg), 4, policy="run_to_block")
+        _, t2 = traced_run(st.strassen_program(cfg), 4, policy="virtual_time")
+        assert diff_traces(t1, t2).identical
+
+
+class TestReplayPrefixVerification:
+    def test_replay_prefix_verified(self):
+        """The §4.2 guarantee, checked mechanically on a wildcard-heavy
+        program replayed to a stopline."""
+        from repro.debugger import DebugSession
+
+        program = master_worker_program(n_tasks=8)
+        session = DebugSession(program, 4)
+        session.run()
+        original = session.trace()
+        anchor = [r for r in original.by_proc(0) if r.is_recv][3]
+        stopline = session.set_stopline(anchor.index)
+        session.replay()
+        replayed = session.trace()
+        diff = verify_replay_prefix(
+            original, replayed, stopline.thresholds.as_dict()
+        )
+        assert diff.identical, diff.as_text()
+        session.clear_thresholds()
+        session.cont()
+        session.shutdown()
+
+    def test_detects_a_diverged_replay(self):
+        """A steered replay is SUPPOSED to diverge -- the diff proves the
+        steering had an effect at exactly the racing receive."""
+        from repro.analysis import detect_races, steer_to_alternative
+        from repro.instrument import WrapperLibrary
+        from repro.trace import TraceRecorder
+
+        program = master_worker_program(n_tasks=6)
+        rt = mp.Runtime(4)
+        rec = TraceRecorder(4)
+        WrapperLibrary(rt, rec)
+        rt.run(program)
+        rt.shutdown()
+        trace = rec.snapshot()
+        races = detect_races(trace)
+        steered_log = steer_to_alternative(
+            rt.comm_log, trace, races[0], races[0].alternatives[0]
+        )
+        rt2 = mp.Runtime(4, replay_log=steered_log)
+        rec2 = TraceRecorder(4)
+        WrapperLibrary(rt2, rec2)
+        rt2.run(program)
+        rt2.shutdown()
+        diff = diff_traces(trace, rec2.snapshot())
+        assert not diff.identical
+        d = next(d for d in diff.divergences if d.proc == races[0].recv.proc)
+        # The divergence is at (or before) the racing receive.
+        assert d.left is not None and d.left.marker <= races[0].recv.marker

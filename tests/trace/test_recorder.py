@@ -1,0 +1,89 @@
+"""The TraceRecorder: collection toggles, filters, file backing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mp.datatypes import SourceLocation
+from repro.trace import EventKind, TraceFileReader, TraceRecorder
+
+
+def put(rec, proc=0, kind=EventKind.COMPUTE, t=0.0, marker=1, **kw):
+    return rec.record(proc, kind, t, t + 1.0, marker, **kw)
+
+
+class TestRecorder:
+    def test_records_and_snapshot(self):
+        rec = TraceRecorder(nprocs=2)
+        put(rec, proc=0)
+        put(rec, proc=1, kind=EventKind.SEND, src=1, dst=0, tag=1, seq=0)
+        tr = rec.snapshot()
+        assert len(tr) == 2
+        assert tr[1].kind is EventKind.SEND
+        assert [r.index for r in tr] == [0, 1]
+
+    def test_snapshot_is_stable(self):
+        rec = TraceRecorder(nprocs=1)
+        put(rec)
+        tr = rec.snapshot()
+        put(rec)
+        assert len(tr) == 1  # earlier snapshot unaffected
+        assert len(rec.snapshot()) == 2
+
+    def test_global_toggle(self):
+        rec = TraceRecorder(nprocs=1)
+        rec.set_enabled(False)
+        assert put(rec) is None
+        rec.set_enabled(True)
+        assert put(rec) is not None
+        assert rec.dropped == 1
+
+    def test_per_proc_toggle(self):
+        rec = TraceRecorder(nprocs=2)
+        rec.set_enabled(False, proc=0)
+        assert put(rec, proc=0) is None
+        assert put(rec, proc=1) is not None
+        assert rec.is_enabled(1) and not rec.is_enabled(0)
+
+    def test_kind_filter_constructor(self):
+        rec = TraceRecorder(nprocs=1, kinds=[EventKind.SEND])
+        assert put(rec, kind=EventKind.COMPUTE) is None
+        assert put(rec, kind=EventKind.SEND, src=0, dst=0, tag=0, seq=0) is not None
+
+    def test_kind_filter_setter(self):
+        rec = TraceRecorder(nprocs=1)
+        rec.set_kind_filter([EventKind.RECV])
+        assert put(rec, kind=EventKind.COMPUTE) is None
+        rec.set_kind_filter(None)
+        assert put(rec, kind=EventKind.COMPUTE) is not None
+
+    def test_location_recorded(self):
+        rec = TraceRecorder(nprocs=1)
+        loc = SourceLocation("app.py", 42, "work")
+        r = put(rec, location=loc)
+        assert r.location == loc
+
+    def test_file_backing_with_backfill(self, tmp_path):
+        rec = TraceRecorder(nprocs=1)
+        put(rec)  # recorded before attach
+        rec.attach_file(tmp_path / "t.jsonl")
+        put(rec)
+        rec.flush()
+        back = TraceFileReader(tmp_path / "t.jsonl").read()
+        assert len(back) == 2
+
+    def test_double_attach_rejected(self, tmp_path):
+        rec = TraceRecorder(nprocs=1)
+        rec.attach_file(tmp_path / "a.jsonl")
+        with pytest.raises(RuntimeError, match="already attached"):
+            rec.attach_file(tmp_path / "b.jsonl")
+
+    def test_flush_without_file_is_noop(self):
+        assert TraceRecorder(nprocs=1).flush() == 0
+
+    def test_close_flushes(self, tmp_path):
+        rec = TraceRecorder(nprocs=1)
+        rec.attach_file(tmp_path / "t.jsonl")
+        put(rec)
+        rec.close()
+        assert len(TraceFileReader(tmp_path / "t.jsonl").read()) == 1

@@ -1,0 +1,95 @@
+"""Tolerant trace-file reading and the session export commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import strassen as st
+from repro.debugger import CommandInterpreter, DebugSession
+from repro.trace import (
+    EventKind,
+    TraceFileError,
+    TraceFileReader,
+    TraceFileWriter,
+    TraceRecord,
+    load_trace,
+)
+
+
+def rec(index, t):
+    return TraceRecord(index=index, proc=0, kind=EventKind.COMPUTE,
+                       t0=t, t1=t + 1, marker=index + 1)
+
+
+class TestTolerantReading:
+    @pytest.fixture()
+    def truncated_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceFileWriter(path, nprocs=1) as writer:
+            for i in range(3):
+                writer.write(rec(i, float(i)))
+        # Simulate a crash mid-write: append half a record.
+        with path.open("a") as fh:
+            fh.write('{"i": 3, "p": 0, "k": "comp')
+        return path
+
+    def test_strict_read_raises(self, truncated_file):
+        with pytest.raises(TraceFileError, match="malformed record"):
+            TraceFileReader(truncated_file).read()
+
+    def test_tolerant_read_skips(self, truncated_file):
+        reader = TraceFileReader(truncated_file)
+        trace = reader.read(tolerant=True)
+        assert len(trace) == 3
+        assert reader.skipped_lines == 1
+
+    def test_tolerant_read_counts_reset(self, truncated_file):
+        reader = TraceFileReader(truncated_file)
+        reader.read(tolerant=True)
+        reader.read(tolerant=True)
+        assert reader.skipped_lines == 1  # per read, not cumulative
+
+
+class TestExportCommands:
+    @pytest.fixture()
+    def session(self):
+        cfg = st.StrassenConfig(n=8, nprocs=4)
+        s = DebugSession(st.strassen_program(cfg), 4)
+        interp = CommandInterpreter(s)
+        interp.execute("run")
+        yield s, interp
+        s.shutdown()
+
+    def test_save_trace_roundtrip(self, session, tmp_path):
+        s, interp = session
+        path = tmp_path / "out.jsonl"
+        out = interp.execute(f"save-trace {path}")
+        assert "wrote" in out
+        back = load_trace(path)
+        assert len(back) == len(s.trace())
+        assert back.nprocs == 4
+
+    def test_export_svg(self, session, tmp_path):
+        _, interp = session
+        path = tmp_path / "view.svg"
+        out = interp.execute(f"export-svg {path}")
+        assert "wrote" in out
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert "<line" in text
+
+    def test_export_svg_includes_stopline(self, session, tmp_path):
+        _, interp = session
+        interp.execute("stopline 5")
+        path = tmp_path / "view.svg"
+        interp.execute(f"export-svg {path}")
+        assert "<title>stopline</title>" in path.read_text()
+
+    def test_usage_errors(self, session):
+        _, interp = session
+        from repro.debugger import CommandError
+
+        with pytest.raises(CommandError, match="usage: save-trace"):
+            interp.execute("save-trace")
+        with pytest.raises(CommandError, match="usage: export-svg"):
+            interp.execute("export-svg a b")
