@@ -120,8 +120,13 @@ def main() -> None:
     rec.flush()  # the on-demand flush (§2.1)
     rt.shutdown()
     summarize("aims", rec.snapshot())
-    reread = TraceFileReader(trace_path).read()
-    print(f"  trace file: {trace_path.name} holds {len(reread)} records")
+    rec.close()  # finalize: writes the v2 index footer
+    reader = TraceFileReader(trace_path)
+    reread = reader.read()
+    print(
+        f"  trace file: {trace_path.name} holds {len(reread)} records"
+        f" (indexed: {reader.has_index})"
+    )
 
     print("\n=== 4. Dyninst-style patching: no rebuild, no hook ===")
     import sys

@@ -22,9 +22,10 @@ their sends; per-process order is program order).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.trace.events import TraceRecord
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, ensure_trace
 
 
 @dataclass
@@ -69,8 +70,13 @@ class CriticalPath:
         return "\n".join(lines)
 
 
-def critical_path(trace: Trace) -> CriticalPath:
-    """Longest path through the happens-before DAG of the trace."""
+def critical_path(trace: "Trace | Iterable[TraceRecord]") -> CriticalPath:
+    """Longest path through the happens-before DAG of the trace.
+
+    Accepts a materialized :class:`Trace` or any record iterator (the
+    streaming consumers hand a file reader's stream straight in).
+    """
+    trace = ensure_trace(trace)
     n = len(trace)
     if n == 0:
         return CriticalPath([], 0.0, 0.0, [])

@@ -18,13 +18,14 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import networkx as nx
 
 from repro.mp.datatypes import ANY_SOURCE
 from repro.mp.process import WaitInfo
-from repro.trace.trace import Trace
+from repro.trace.events import TraceRecord
+from repro.trace.trace import Trace, ensure_trace
 
 from .matching import MissedMessage, diagnose_missed_messages
 
@@ -94,13 +95,14 @@ def find_cycles(graph: nx.DiGraph) -> list[list[int]]:
 def analyze_deadlock(
     waiting: Sequence[WaitInfo],
     nprocs: int,
-    trace: Optional[Trace] = None,
+    trace: "Trace | Iterable[TraceRecord] | None" = None,
 ) -> DeadlockReport:
     """Full deadlock analysis.
 
     ``waiting`` usually comes from ``RunReport.waiting`` or
-    ``Runtime.blocked_waits()``.  Supplying the trace enables the
-    missed-message causal diagnosis.
+    ``Runtime.blocked_waits()``.  Supplying the trace -- either
+    materialized or as any record iterator (a trace-file stream, a
+    sink's history) -- enables the missed-message causal diagnosis.
     """
     graph = build_wait_graph(waiting, nprocs)
     report = DeadlockReport(
@@ -108,6 +110,7 @@ def analyze_deadlock(
         cycles=find_cycles(graph),
     )
     if trace is not None:
+        trace = ensure_trace(trace, nprocs=nprocs)
         report.missed = diagnose_missed_messages(trace.unmatched_sends(), waiting)
     return report
 

@@ -20,10 +20,10 @@ here as the per-process marker thresholds the two frontiers induce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.trace.events import TraceRecord
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, ensure_trace
 
 from .causality import CausalOrder, compute_causal_order
 
@@ -96,11 +96,17 @@ class FrontierAnalysis:
 
 
 def analyze_frontiers(
-    trace: Trace,
+    trace: "Trace | Iterable[TraceRecord]",
     event_index: int,
     order: Optional[CausalOrder] = None,
 ) -> FrontierAnalysis:
-    """Compute past/future frontiers of the event at ``event_index``."""
+    """Compute past/future frontiers of the event at ``event_index``.
+
+    ``trace`` may be a materialized :class:`Trace` or any record
+    iterator (e.g. a trace-file reader's stream) -- the streaming form
+    of the §4.1 analysis.
+    """
+    trace = ensure_trace(trace)
     if order is None:
         order = compute_causal_order(trace)
     event = trace[event_index]
@@ -132,12 +138,13 @@ def analyze_frontiers(
 
 
 def is_antichain(
-    trace: Trace,
+    trace: "Trace | Iterable[TraceRecord]",
     indexes: Sequence[int],
     order: Optional[CausalOrder] = None,
 ) -> bool:
     """Literal reading of the paper's definition: "a set of events in
     which no event happens before another"."""
+    trace = ensure_trace(trace)
     if order is None:
         order = compute_causal_order(trace)
     for i in indexes:
@@ -148,7 +155,7 @@ def is_antichain(
 
 
 def cut_of_frontier(
-    trace: Trace,
+    trace: "Trace | Iterable[TraceRecord]",
     indexes: Sequence[int],
     inclusive: bool = True,
 ) -> Optional[set[int]]:
@@ -163,6 +170,7 @@ def cut_of_frontier(
 
     Returns None for an ill-formed frontier (two members on one process).
     """
+    trace = ensure_trace(trace)
     members = [trace[i] for i in indexes]
     by_proc: dict[int, int] = {}
     for rec in members:
@@ -195,7 +203,7 @@ def is_consistent_cut(trace: Trace, included: "set[int]") -> bool:
 
 
 def is_consistent_frontier(
-    trace: Trace,
+    trace: "Trace | Iterable[TraceRecord]",
     indexes: Sequence[int],
     order: Optional[CausalOrder] = None,
     inclusive: bool = True,
@@ -212,6 +220,7 @@ def is_consistent_frontier(
     another through a message chain without invalidating the cut.
     """
     del order  # kept for signature compatibility; cut test needs no VCs
+    trace = ensure_trace(trace)
     included = cut_of_frontier(trace, indexes, inclusive=inclusive)
     if included is None:
         return False

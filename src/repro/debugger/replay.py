@@ -136,14 +136,22 @@ def execute_replay(
     replay_log: CommLog,
     thresholds: MarkerVector,
     record_from: Optional[MarkerVector] = None,
+    on_build: Optional[Callable[[ReplayExecution], None]] = None,
 ) -> ReplayExecution:
     """One controlled replay: rebuild, program thresholds, run to stop.
+
+    ``on_build`` is invoked after the execution is constructed but
+    before it runs -- the hook the debug session uses to re-attach
+    streaming sinks to the fresh recorder, so subscribers observe the
+    re-execution's records as they are produced.
 
     Returns the execution with ``report`` filled; the caller owns
     shutdown.  Processes without a threshold run until they exit or
     block (they were past their last marker at the stopline).
     """
     execution = build_execution(spec, replay_log, record_from)
+    if on_build is not None:
+        on_build(execution)
     execution.runtime.set_thresholds(thresholds.as_dict())
     execution.report = execution.runtime.run_until_idle()
     return execution

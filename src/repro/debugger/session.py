@@ -30,6 +30,7 @@ from repro.mp.record import CommLog
 from repro.mp.runtime import ProgramSpec
 from repro.mp.scheduler import RunOutcome, RunReport
 from repro.trace.markers import MarkerVector
+from repro.trace.sinks import CallbackSink, TraceSink
 from repro.trace.trace import Trace
 
 from .breakpoints import Breakpoint, BreakpointManager
@@ -102,6 +103,9 @@ class DebugSession:
         self.checkpoints = LogBacklog(base=checkpoint_base)
         self.current_stopline: Optional[Stopline] = None
         self._saved_breakpoints: list[Breakpoint] = []
+        #: sinks the user subscribed to the live trace stream; they are
+        #: re-attached to every replay generation's fresh recorder
+        self._streaming_sinks: list[TraceSink] = []
         self._execution: ReplayExecution = build_execution(self.spec)
         self.breakpoints = BreakpointManager(self.runtime)
         self._last_report: Optional[RunReport] = None
@@ -120,6 +124,49 @@ class DebugSession:
     def trace(self) -> Trace:
         """A consistent snapshot of the history collected so far."""
         return self._execution.recorder.snapshot()
+
+    @property
+    def recorder(self):
+        """The current generation's trace recorder (its ``bus`` is the
+        live event stream)."""
+        return self._execution.recorder
+
+    # ------------------------------------------------------------------
+    # live trace stream (the streaming pipeline surface)
+    # ------------------------------------------------------------------
+    def subscribe(self, sink: TraceSink, backfill: bool = True) -> TraceSink:
+        """Attach a sink to the live trace stream.
+
+        The sink observes every record the instrumentation publishes
+        from now on (``backfill`` first replays this generation's
+        retained history so the prefix is complete).  Across
+        :meth:`replay`/:meth:`undo` the subscription survives: the sink
+        is re-attached to the new generation's recorder and sees the
+        re-execution's records as they are produced.
+        """
+        self._streaming_sinks.append(sink)
+        return self._execution.recorder.subscribe(sink, backfill=backfill)
+
+    def unsubscribe(self, sink: TraceSink) -> None:
+        self._streaming_sinks.remove(sink)
+        self._execution.recorder.unsubscribe(sink)
+
+    def add_trace_callback(self, fn, backfill: bool = True) -> CallbackSink:
+        """Shorthand: subscribe a per-record analysis callback."""
+        sink = CallbackSink(fn)
+        self.subscribe(sink, backfill=backfill)
+        return sink
+
+    def live_graph(self, arc_limit: Optional[int] = 64):
+        """A trace graph built incrementally from the live stream (§3.2
+        "built as the execution is running").  The returned graph tracks
+        this generation's history only; call again after a replay for a
+        fresh one."""
+        from repro.graphs.tracegraph import TraceGraph
+
+        graph = TraceGraph(self.nprocs, arc_limit)
+        self._execution.recorder.subscribe(graph.sink(), backfill=True)
+        return graph
 
     def markers(self) -> MarkerVector:
         return MarkerVector(self.runtime.markers())
@@ -316,9 +363,20 @@ class DebugSession:
 
         saved_bps = self.breakpoints.list()
         self.runtime.shutdown()
+        # Finalize the outgoing generation's trace file (if any): the
+        # recorder is discarded below, and an attached file would
+        # otherwise be dropped with its tail unflushed and no index.
+        self._execution.recorder.close()
         self.generation += 1
+        # Re-attach user subscriptions before the replay runs, so the
+        # sinks observe the re-execution's records live.
+        def _resubscribe(execution: ReplayExecution) -> None:
+            for sink in self._streaming_sinks:
+                execution.recorder.subscribe(sink, backfill=True)
+
         self._execution = execute_replay(
-            self.spec, self.master_log, vector, record_from=record_from
+            self.spec, self.master_log, vector, record_from=record_from,
+            on_build=_resubscribe,
         )
         self.breakpoints = BreakpointManager(self.runtime)
         for bp in saved_bps:
@@ -363,6 +421,7 @@ class DebugSession:
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
         self.runtime.shutdown()
+        self._execution.recorder.close()
 
     def __enter__(self) -> "DebugSession":
         return self

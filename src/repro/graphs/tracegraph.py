@@ -23,10 +23,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.trace.events import EventKind, TraceRecord
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.sinks import TraceSink
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +228,14 @@ class TraceGraph:
                 merged.append(arcs[-1])
             self._edges[key] = merged
 
+    def sink(self) -> "TraceSink":
+        """A bus sink feeding this graph -- attach it to a recorder
+        (``recorder.subscribe(graph.sink())``) and the graph tracks the
+        execution live, no materialized :class:`Trace` required."""
+        from repro.trace.sinks import GraphSink
+
+        return GraphSink(graph=self)
+
     # ------------------------------------------------------------------
     # whole-trace construction
     # ------------------------------------------------------------------
@@ -234,6 +245,20 @@ class TraceGraph:
     ) -> "TraceGraph":
         graph = cls(trace.nprocs, arc_limit)
         for rec in trace:
+            graph.add_record(rec)
+        return graph
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[TraceRecord],
+        nprocs: int,
+        arc_limit: Optional[int] = 64,
+    ) -> "TraceGraph":
+        """Build from any record iterator (a file reader's stream, a
+        sink's history) without materializing a :class:`Trace`."""
+        graph = cls(nprocs, arc_limit)
+        for rec in records:
             graph.add_record(rec)
         return graph
 
@@ -281,11 +306,21 @@ class TraceGraph:
     # ------------------------------------------------------------------
     # zoom reconstruction (§4.3)
     # ------------------------------------------------------------------
-    def reconstruct_arc(self, arc: Arc, trace: Trace) -> list[TraceRecord]:
+    def reconstruct_arc(self, arc: Arc, trace) -> list[TraceRecord]:
         """Recover the original events a merged arc stands for by
-        rescanning the covered portion of the trace."""
+        rescanning the covered portion of the trace.
+
+        ``trace`` may be an in-memory :class:`Trace` or an (indexed)
+        ``TraceFileReader`` -- with the latter, only the byte ranges
+        covering the arc's time window are read ("rescanning the
+        appropriate portion of the trace file", §4.3).
+        """
+        if hasattr(trace, "seek_window"):
+            window = trace.seek_window(arc.t0, arc.t1)
+        else:
+            window = trace.window(arc.t0, arc.t1)
         out = []
-        for rec in trace.window(arc.t0, arc.t1):
+        for rec in window:
             if arc.first_index <= rec.index <= arc.last_index:
                 if arc.kind is ArcKind.CALL and rec.kind is EventKind.FUNC_ENTRY:
                     if rec.proc == getattr(arc.dst, "proc", -1) and rec.location.function == getattr(arc.dst, "function", ""):

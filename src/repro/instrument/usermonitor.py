@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.mp.datatypes import SourceLocation
 from repro.mp.process import Process
@@ -65,6 +65,9 @@ class UserMonitor:
         self._history: dict[int, deque[MonitorEntry]] = {
             proc.rank: deque(maxlen=history_limit) for proc in runtime.procs
         }
+        #: live observers of the marker stream (rank, entry) -- the
+        #: monitor's leg of the streaming trace pipeline
+        self._observers: list[Callable[[int, MonitorEntry], None]] = []
         #: total hook invocations (the Table 1 "number of calls" column)
         self.total_calls = 0
         for proc in runtime.procs:
@@ -74,9 +77,30 @@ class UserMonitor:
     def _hook(self, proc: Process, location: SourceLocation, args: tuple) -> None:
         self.total_calls += 1
         arg_reprs = tuple(repr(a)[:80] for a in args[:2])
-        self._history[proc.rank].append(
-            MonitorEntry(marker=proc.marker, location=location, args=arg_reprs)
+        entry = MonitorEntry(
+            marker=proc.marker, location=location, args=arg_reprs
         )
+        self._history[proc.rank].append(entry)
+        for observer in self._observers:
+            observer(proc.rank, entry)
+
+    # ------------------------------------------------------------------
+    # live marker stream (streaming-pipeline surface)
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, fn: Callable[[int, MonitorEntry], None]
+    ) -> Callable[[int, MonitorEntry], None]:
+        """Publish every future monitor entry to ``fn(rank, entry)``.
+
+        This is the monitor-side analog of attaching a sink to the trace
+        bus: watchdogs and liveness analyses observe instrumentation
+        points as they fire instead of polling :meth:`history`.
+        """
+        self._observers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[int, MonitorEntry], None]) -> None:
+        self._observers.remove(fn)
 
     def detach(self) -> None:
         """Remove the hooks (stop recording; counters keep advancing)."""

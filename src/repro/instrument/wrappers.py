@@ -6,6 +6,12 @@
     When the user links with the debugging version of the MPI library,
     the history collection is automatic."
 
+The wrapper library publishes through the recorder's
+:class:`~repro.trace.sinks.TraceBus`: every record a wrapper emits is
+delivered once to all attached sinks (in-memory history, trace file,
+live analyses), so "the history collection is automatic" extends to any
+number of streaming consumers.
+
 :class:`WrapperLibrary` is that debugging library: installing it on a
 runtime's PMPI layer makes every communication call
 
@@ -69,6 +75,12 @@ class WrapperLibrary:
         self.bump_markers = bump_markers
         self._installed: list[tuple[str, object]] = []
         self._install()
+
+    @property
+    def bus(self):
+        """The event bus this library publishes records through --
+        attach sinks here to observe the wrapped calls live."""
+        return self.recorder.bus
 
     # ------------------------------------------------------------------
     def _install(self) -> None:

@@ -2,9 +2,11 @@
 
 Trace records (:mod:`~repro.trace.events`), execution markers
 (:mod:`~repro.trace.markers`), the queryable :class:`Trace` container,
-the persistent trace-file format with on-demand flushing
-(:mod:`~repro.trace.tracefile`), and the in-memory recorder that
-instrumentation layers write into (:mod:`~repro.trace.recorder`).
+the persistent indexed trace-file format with on-demand flushing
+(:mod:`~repro.trace.tracefile`), the streaming event bus with pluggable
+sinks (:mod:`~repro.trace.sinks`), and the recorder that filters and
+publishes what instrumentation layers write
+(:mod:`~repro.trace.recorder`).
 """
 
 from .diff import (
@@ -24,20 +26,40 @@ from .events import (
 )
 from .markers import ExecutionMarker, MarkerVector
 from .recorder import TraceRecorder
-from .trace import MessagePair, Trace, merge_traces
+from .sinks import (
+    CallbackSink,
+    FileSink,
+    GraphSink,
+    MemorySink,
+    RingBufferSink,
+    TraceBus,
+    TraceSink,
+    pump,
+)
+from .trace import MessagePair, Trace, ensure_trace, merge_traces
 from .tracefile import (
     TraceFileError,
     TraceFileReader,
     TraceFileWriter,
+    TraceIndex,
     load_trace,
     save_trace,
 )
 
 __all__ = [
     "COLLECTIVE_KINDS",
+    "CallbackSink",
     "Divergence",
+    "FileSink",
+    "GraphSink",
+    "MemorySink",
+    "RingBufferSink",
+    "TraceBus",
     "TraceDiff",
+    "TraceSink",
     "diff_traces",
+    "ensure_trace",
+    "pump",
     "record_signature",
     "verify_replay_prefix",
     "EventKind",
@@ -51,6 +73,7 @@ __all__ = [
     "TraceFileError",
     "TraceFileReader",
     "TraceFileWriter",
+    "TraceIndex",
     "TraceRecord",
     "TraceRecorder",
     "load_trace",

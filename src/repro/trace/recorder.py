@@ -1,13 +1,19 @@
-"""The in-memory trace recorder instrumentation layers write into.
+"""The trace recorder: filters, stamps, and publishes every record.
 
 One recorder serves a whole runtime.  Instrumentation (wrapper library,
-UserMonitor, AIMS-style source monitors) appends records; the debugger
-and analyses read a consistent :class:`Trace` snapshot at any stop.
-
-Size control reproduces the paper's Section 3 knobs: "The size of trace
+UserMonitor, AIMS-style source monitors) appends records; the recorder
+applies the paper's Section 3 size-control knobs ("The size of trace
 file can be controlled by selectively instrumenting constructs and by
 toggling the collection on and off in the monitor" -- see
-:meth:`set_enabled` (per process or globally) and :meth:`set_kind_filter`.
+:meth:`set_enabled` and :meth:`set_kind_filter`), stamps the global
+index, and publishes each surviving record once to a
+:class:`~repro.trace.sinks.TraceBus`.
+
+Consumers are bus sinks (see :mod:`repro.trace.sinks`): by default a
+:class:`~repro.trace.sinks.MemorySink` materializes the classic
+:class:`Trace` snapshot; a trace file, a bounded ring buffer, an
+incremental trace graph, or arbitrary analysis callbacks can be attached
+at any time and observe the same live stream.
 
 Thread-safety: records are only appended by the process thread holding
 the scheduler token, and read by the controller thread while no process
@@ -17,11 +23,19 @@ runs, so no locking is required -- a property of the cooperative runtime.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Iterable, Optional, Union
+from typing import Any, Callable, Iterable, Optional, Union
 
 from repro.mp.datatypes import SourceLocation
 
 from .events import EventKind, TraceRecord
+from .sinks import (
+    CallbackSink,
+    FileSink,
+    MemorySink,
+    RingBufferSink,
+    TraceBus,
+    TraceSink,
+)
 from .trace import Trace
 from .tracefile import TraceFileWriter
 
@@ -36,21 +50,31 @@ class TraceRecorder:
     kinds:
         If given, only these event kinds are recorded (selective
         construct instrumentation).
+    memory_limit:
+        If given, in-memory retention is a ring buffer of this many
+        records (bounded memory for long runs); :meth:`snapshot` then
+        covers only the retained tail.  None keeps the full history.
     """
 
     def __init__(
         self,
         nprocs: int,
         kinds: Optional[Iterable[EventKind]] = None,
+        memory_limit: Optional[int] = None,
     ) -> None:
         self.nprocs = nprocs
-        self._records: list[TraceRecord] = []
+        self.bus = TraceBus()
+        self._memory: "MemorySink | RingBufferSink" = (
+            RingBufferSink(memory_limit) if memory_limit is not None else MemorySink()
+        )
+        self.bus.attach(self._memory)
+        self._next_index = 0
         self._enabled_global = True
         self._enabled_proc = [True] * nprocs
         self._kind_filter: Optional[frozenset[EventKind]] = (
             frozenset(kinds) if kinds is not None else None
         )
-        self._writer: Optional[TraceFileWriter] = None
+        self._file_sink: Optional[FileSink] = None
         #: records dropped by toggles/filters (observability of gaps)
         self.dropped = 0
 
@@ -91,7 +115,7 @@ class TraceRecorder:
             self.dropped += 1
             return None
         rec = TraceRecord(
-            index=len(self._records),
+            index=self._next_index,
             proc=proc,
             kind=kind,
             t0=t0,
@@ -100,24 +124,52 @@ class TraceRecorder:
             location=location or SourceLocation.unknown(),
             **fields,
         )
-        self._records.append(rec)
-        if self._writer is not None:
-            self._writer.write(rec)
+        self._next_index += 1
+        self.bus.publish(rec)
         return rec
 
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
     def snapshot(self) -> Trace:
-        """A consistent Trace over everything recorded so far."""
-        return Trace(list(self._records), self.nprocs)
+        """A consistent Trace over the retained history (everything, or
+        the ring-buffer tail under a ``memory_limit``)."""
+        return self._memory.snapshot(self.nprocs)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._memory)
 
     @property
     def records(self) -> tuple[TraceRecord, ...]:
-        return tuple(self._records)
+        return self._memory.records
+
+    @property
+    def total_recorded(self) -> int:
+        """Records published over the recorder's lifetime (>= retained)."""
+        return self._next_index
+
+    # ------------------------------------------------------------------
+    # pluggable sinks (the streaming pipeline surface)
+    # ------------------------------------------------------------------
+    def subscribe(self, sink: TraceSink, backfill: bool = False) -> TraceSink:
+        """Attach a sink to the live stream; ``backfill`` first replays
+        the retained in-memory history into it so a late subscriber
+        still sees the full prefix."""
+        if backfill:
+            for rec in self._memory.records:
+                sink.emit(rec)
+        return self.bus.attach(sink)
+
+    def unsubscribe(self, sink: TraceSink) -> None:
+        self.bus.detach(sink)
+
+    def add_callback(
+        self, fn: Callable[[TraceRecord], None], backfill: bool = False
+    ) -> CallbackSink:
+        """Attach a per-record callback (analysis subscriber shim)."""
+        sink = CallbackSink(fn)
+        self.subscribe(sink, backfill=backfill)
+        return sink
 
     # ------------------------------------------------------------------
     # file backing (flush-on-demand, Section 2.1)
@@ -126,23 +178,25 @@ class TraceRecorder:
         self,
         path: Union[str, Path],
         auto_flush_every: Optional[int] = None,
+        durable: bool = False,
     ) -> TraceFileWriter:
-        """Mirror all future records into a trace file."""
-        if self._writer is not None:
+        """Mirror all future records into a trace file (back-filling
+        anything already retained in memory)."""
+        if self._file_sink is not None:
             raise RuntimeError("a trace file is already attached")
-        self._writer = TraceFileWriter(path, self.nprocs, auto_flush_every)
-        # Back-fill anything recorded before attachment.
-        for rec in self._records:
-            self._writer.write(rec)
-        return self._writer
+        sink = FileSink(
+            path, self.nprocs, auto_flush_every, durable=durable
+        )
+        self.subscribe(sink, backfill=True)
+        self._file_sink = sink
+        return sink.writer
 
     def flush(self) -> int:
-        """Flush the attached file (no-op without one); returns count."""
-        if self._writer is None:
-            return 0
-        return self._writer.flush()
+        """Flush every attached sink; returns records moved to disk."""
+        return self.bus.flush()
 
     def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            self._writer = None
+        if self._file_sink is not None:
+            self.bus.detach(self._file_sink)
+            self._file_sink.close()
+            self._file_sink = None

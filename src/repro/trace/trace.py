@@ -15,7 +15,7 @@ constructed (the recorder builds a new one per flush).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Optional, Sequence
 
 from .events import EventKind, TraceRecord
@@ -215,6 +215,37 @@ class Trace:
             if rec.is_send:
                 out[rec.proc] += 1
         return out
+
+
+def ensure_trace(
+    source: "Trace | Iterable[TraceRecord]",
+    nprocs: Optional[int] = None,
+) -> Trace:
+    """Coerce a record stream into a :class:`Trace` (pass-through for an
+    existing one).
+
+    This is the batch <-> streaming bridge: every analysis entry point
+    accepts either a materialized trace or any iterator of records (a
+    file reader's ``iter_records``/``seek_window``, a sink's retained
+    history, a generator).  ``nprocs`` is inferred from the records when
+    not given (highest rank + 1, including message endpoints).
+
+    Analyses assume ``record.index == position`` (vector clocks, path
+    DP); a stream cut from the middle of a trace (seek_window, ring
+    buffer) has sparse global indexes, so such records are re-indexed on
+    positional *copies* -- the originals, and their global indexes, are
+    left untouched.
+    """
+    if isinstance(source, Trace):
+        return source
+    records = list(source)
+    if any(rec.index != k for k, rec in enumerate(records)):
+        records = [replace(rec, index=k) for k, rec in enumerate(records)]
+    if nprocs is None:
+        nprocs = 0
+        for rec in records:
+            nprocs = max(nprocs, rec.proc + 1, rec.src + 1, rec.dst + 1)
+    return Trace(records, nprocs)
 
 
 def merge_traces(traces: Iterable[Trace]) -> Trace:

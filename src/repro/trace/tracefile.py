@@ -9,17 +9,29 @@ This module reproduces that shape:
   :meth:`flush` (the on-demand flush) and an optional auto-flush
   threshold;
 * :class:`TraceFileReader` reads whole files, streams records, or
-  rescans a time window / process subset without loading everything --
-  the access pattern the trace-graph zoom reconstruction needs.
+  seeks straight to a time window / process subset without scanning
+  everything -- the access pattern the trace-graph zoom reconstruction
+  (Section 4.3 "rescanning the appropriate portion of the trace file")
+  and the VK animated window need.
 
-Format: a header line ``{"format": ..., "version": ..., "nprocs": ...}``
+Format v1: a header line ``{"format": ..., "version": 1, "nprocs": ...}``
 followed by one record per line (see ``TraceRecord.to_jsonable``).
+
+Format v2 adds an *index footer* as the final line when the writer is
+closed cleanly: ``{"__trace_index__": {"blocks": [...], ...}}``.  Each
+block entry is ``[offset, nbytes, count, t_min, t_max, procs]``
+describing a contiguous byte range of record lines, so
+:meth:`TraceFileReader.seek_window` reads only the blocks overlapping
+the requested window instead of the whole file.  A v2 file whose footer
+is missing (writer crashed before close) and any v1 file degrade to the
+linear path unchanged.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Union
 
@@ -27,15 +39,97 @@ from .events import TraceRecord
 from .trace import Trace
 
 FORMAT_NAME = "repro-trace"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: versions this reader understands
+SUPPORTED_VERSIONS = frozenset({1, 2})
+#: key marking the v2 index footer line
+INDEX_KEY = "__trace_index__"
+#: records per index block (granularity of seek_window byte ranges)
+DEFAULT_INDEX_BLOCK = 512
 
 
 class TraceFileError(Exception):
     """Malformed or mismatched trace file."""
 
 
+@dataclass(frozen=True)
+class IndexBlock:
+    """One contiguous run of record lines summarized in the footer."""
+
+    offset: int
+    nbytes: int
+    count: int
+    t_min: float
+    t_max: float
+    procs: frozenset[int]
+
+    def overlaps(
+        self, t_lo: float, t_hi: float, procs: Optional[set[int]]
+    ) -> bool:
+        if self.t_max < t_lo or self.t_min > t_hi:
+            return False
+        return procs is None or bool(self.procs & procs)
+
+    def to_jsonable(self) -> list:
+        return [
+            self.offset,
+            self.nbytes,
+            self.count,
+            self.t_min,
+            self.t_max,
+            sorted(self.procs),
+        ]
+
+    @classmethod
+    def from_jsonable(cls, data: list) -> "IndexBlock":
+        off, nbytes, count, t_min, t_max, procs = data
+        return cls(off, nbytes, count, t_min, t_max, frozenset(procs))
+
+
+@dataclass(frozen=True)
+class TraceIndex:
+    """The v2 footer: per-block byte offsets + whole-file aggregates."""
+
+    blocks: tuple[IndexBlock, ...]
+    records: int
+    t_min: float
+    t_max: float
+
+    def select(
+        self,
+        t_lo: float,
+        t_hi: float,
+        procs: Optional[set[int]] = None,
+    ) -> list[IndexBlock]:
+        """Blocks that may hold records overlapping the window."""
+        return [b for b in self.blocks if b.overlaps(t_lo, t_hi, procs)]
+
+    def to_jsonable(self) -> dict:
+        return {
+            INDEX_KEY: {
+                "blocks": [b.to_jsonable() for b in self.blocks],
+                "records": self.records,
+                "span": [self.t_min, self.t_max],
+            }
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TraceIndex":
+        body = data[INDEX_KEY]
+        blocks = tuple(IndexBlock.from_jsonable(b) for b in body["blocks"])
+        span = body.get("span", [0.0, 0.0])
+        return cls(blocks, body.get("records", 0), span[0], span[1])
+
+
 class TraceFileWriter:
     """Appends trace records to a file, flushing on demand.
+
+    The writer holds one persistent append handle for its lifetime (no
+    per-flush reopen); :meth:`flush` pushes buffered lines through the
+    OS so a concurrent reader sees them.  ``durable=True`` additionally
+    ``fsync``\\ s on every flush -- crash-durability at a heavy cost, off
+    by default since the on-demand-flush semantics only require reader
+    visibility.
 
     Parameters
     ----------
@@ -46,6 +140,13 @@ class TraceFileWriter:
     auto_flush_every:
         Flush after this many buffered records (None = only explicit
         flushes and close).
+    durable:
+        fsync on every flush (opt-in).
+    version:
+        On-disk format version; 2 (default) writes the index footer at
+        close, 1 reproduces the legacy footer-less layout.
+    index_block:
+        Records per index block (v2 only).
     """
 
     def __init__(
@@ -53,24 +154,48 @@ class TraceFileWriter:
         path: Union[str, Path],
         nprocs: int,
         auto_flush_every: Optional[int] = None,
+        *,
+        durable: bool = False,
+        version: int = FORMAT_VERSION,
+        index_block: int = DEFAULT_INDEX_BLOCK,
     ) -> None:
+        if version not in SUPPORTED_VERSIONS:
+            raise TraceFileError(f"cannot write format version {version!r}")
+        if index_block < 1:
+            raise ValueError(f"index_block must be >= 1, got {index_block}")
         self.path = Path(path)
         self.nprocs = nprocs
         self.auto_flush_every = auto_flush_every
-        self._buffer: list[str] = []
+        self.durable = durable
+        self.version = version
+        self.index_block = index_block
+        #: buffered (line, t0, t1, proc) tuples awaiting the next flush
+        self._buffer: list[tuple[str, float, float, int]] = []
+        #: per-record (offset, nbytes, t0, t1, proc) for the index footer
+        self._meta: list[tuple[int, int, float, float, int]] = []
         self._written = 0
         self._closed = False
+        self._fh = self.path.open("w")
         header = json.dumps(
-            {"format": FORMAT_NAME, "version": FORMAT_VERSION, "nprocs": nprocs}
+            {"format": FORMAT_NAME, "version": version, "nprocs": nprocs}
         )
-        self.path.write_text(header + "\n")
+        self._fh.write(header + "\n")
+        self._fh.flush()
+        self._offset = self._fh.tell()
 
     # ------------------------------------------------------------------
     def write(self, record: TraceRecord) -> None:
         """Buffer one record (written at the next flush)."""
         if self._closed:
             raise TraceFileError(f"writer for {self.path} is closed")
-        self._buffer.append(json.dumps(record.to_jsonable()))
+        self._buffer.append(
+            (
+                json.dumps(record.to_jsonable()),
+                record.t0,
+                record.t1,
+                record.proc,
+            )
+        )
         if (
             self.auto_flush_every is not None
             and len(self._buffer) >= self.auto_flush_every
@@ -86,17 +211,49 @@ class TraceFileWriter:
         """
         if not self._buffer:
             return 0
-        with self.path.open("a") as fh:
-            fh.write("\n".join(self._buffer) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        for line, t0, t1, proc in self._buffer:
+            nbytes = self._fh.write(line + "\n")
+            self._meta.append((self._offset, nbytes, t0, t1, proc))
+            self._offset += nbytes
+        self._fh.flush()
+        if self.durable:
+            os.fsync(self._fh.fileno())
         n = len(self._buffer)
         self._written += n
         self._buffer.clear()
         return n
 
+    # ------------------------------------------------------------------
+    def _build_index(self) -> TraceIndex:
+        blocks: list[IndexBlock] = []
+        for start in range(0, len(self._meta), self.index_block):
+            chunk = self._meta[start : start + self.index_block]
+            offset = chunk[0][0]
+            nbytes = sum(m[1] for m in chunk)
+            blocks.append(
+                IndexBlock(
+                    offset=offset,
+                    nbytes=nbytes,
+                    count=len(chunk),
+                    t_min=min(m[2] for m in chunk),
+                    t_max=max(m[3] for m in chunk),
+                    procs=frozenset(m[4] for m in chunk),
+                )
+            )
+        t_min = min((m[2] for m in self._meta), default=0.0)
+        t_max = max((m[3] for m in self._meta), default=0.0)
+        return TraceIndex(tuple(blocks), len(self._meta), t_min, t_max)
+
     def close(self) -> None:
+        if self._closed:
+            return
         self.flush()
+        if self.version >= 2:
+            self._fh.write(json.dumps(self._build_index().to_jsonable()) + "\n")
+            self._fh.flush()
+            if self.durable:
+                os.fsync(self._fh.fileno())
+        self._fh.close()
         self._closed = True
 
     @property
@@ -111,12 +268,29 @@ class TraceFileWriter:
 
 
 class TraceFileReader:
-    """Reads trace files written by :class:`TraceFileWriter`."""
+    """Reads trace files written by :class:`TraceFileWriter`.
+
+    Attributes
+    ----------
+    skipped_lines:
+        Malformed lines skipped by tolerant reads, *cumulative* across
+        every read this reader performed (a rising count across polls of
+        a live file means flushes are getting truncated).
+    last_skipped_lines:
+        Malformed lines skipped by the most recent read only.
+    bytes_read:
+        Record bytes this reader pulled off disk, cumulative -- the
+        observable that indexed seeks beat linear scans.
+    index:
+        The v2 footer index, or None (v1 file, or v2 not closed cleanly)
+        -- in which case every access uses the linear path.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         with self.path.open() as fh:
             header_line = fh.readline()
+            self._data_offset = fh.tell()
         try:
             header = json.loads(header_line)
         except json.JSONDecodeError as exc:
@@ -125,15 +299,102 @@ class TraceFileReader:
             raise TraceFileError(
                 f"{self.path}: not a {FORMAT_NAME} file (got {header.get('format')!r})"
             )
-        if header.get("version") != FORMAT_VERSION:
+        if header.get("version") not in SUPPORTED_VERSIONS:
             raise TraceFileError(
                 f"{self.path}: unsupported version {header.get('version')!r}"
             )
+        self.version: int = header["version"]
         self.nprocs: int = header["nprocs"]
-        #: malformed lines skipped by the last tolerant read
         self.skipped_lines = 0
+        self.last_skipped_lines = 0
+        self.bytes_read = 0
+        self.index: Optional[TraceIndex] = (
+            self._load_index() if self.version >= 2 else None
+        )
 
     # ------------------------------------------------------------------
+    # index loading
+    # ------------------------------------------------------------------
+    def _read_last_line(self) -> Optional[bytes]:
+        """The final newline-terminated line, without scanning the file."""
+        with self.path.open("rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size <= self._data_offset:
+                return None
+            chunk = 4096
+            while True:
+                span = min(size, chunk)
+                fh.seek(size - span)
+                tail = fh.read(span)
+                body = tail[:-1] if tail.endswith(b"\n") else tail
+                nl = body.rfind(b"\n")
+                if nl != -1:
+                    return body[nl + 1 :]
+                if span == size:
+                    return body  # single-line body
+                chunk *= 2
+
+    def _load_index(self) -> Optional[TraceIndex]:
+        last = self._read_last_line()
+        if not last or not last.lstrip().startswith(b'{"' + INDEX_KEY.encode()):
+            return None
+        try:
+            data = json.loads(last)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(data, dict) or INDEX_KEY not in data:
+            return None
+        try:
+            return TraceIndex.from_jsonable(data)
+        except (KeyError, IndexError, TypeError, ValueError):
+            return None
+
+    @property
+    def has_index(self) -> bool:
+        return self.index is not None
+
+    def span(self) -> tuple[float, float]:
+        """(earliest t0, latest t1); indexed files answer without a scan."""
+        if self.index is not None:
+            return (self.index.t_min, self.index.t_max)
+        t_min, t_max, seen = 0.0, 0.0, False
+        for rec in self.iter_records(tolerant=True):
+            if not seen:
+                t_min, t_max, seen = rec.t0, rec.t1, True
+            else:
+                t_min = min(t_min, rec.t0)
+                t_max = max(t_max, rec.t1)
+        return (t_min, t_max)
+
+    # ------------------------------------------------------------------
+    # linear streaming
+    # ------------------------------------------------------------------
+    def _parse_line(self, line: str, tolerant: bool) -> Optional[TraceRecord]:
+        """One line -> record; None for footers and tolerated damage."""
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerant:
+                self.skipped_lines += 1
+                self.last_skipped_lines += 1
+                return None
+            raise TraceFileError(
+                f"{self.path}: malformed record line: {exc}"
+            ) from exc
+        if isinstance(data, dict) and INDEX_KEY in data:
+            return None  # the footer is not a record
+        try:
+            return TraceRecord.from_jsonable(data)
+        except (KeyError, ValueError, TypeError) as exc:
+            if tolerant:
+                self.skipped_lines += 1
+                self.last_skipped_lines += 1
+                return None
+            raise TraceFileError(
+                f"{self.path}: malformed record line: {exc}"
+            ) from exc
+
     def iter_records(
         self,
         where: Optional[Callable[[TraceRecord], bool]] = None,
@@ -144,31 +405,80 @@ class TraceFileReader:
         ``tolerant`` skips malformed lines instead of raising -- the
         right mode for a trace file whose final line was cut off by a
         crash of the traced program (the post-mortem case of §4.1 is
-        exactly when that happens).  Skipped lines are counted in
-        :attr:`skipped_lines`.
+        exactly when that happens).  Skipped lines accumulate in
+        :attr:`skipped_lines`; :attr:`last_skipped_lines` holds this
+        read's count alone.
         """
-        self.skipped_lines = 0
+        self.last_skipped_lines = 0
         with self.path.open() as fh:
             fh.readline()  # header
-            for line in fh:
-                line = line.strip()
+            for raw in fh:
+                self.bytes_read += len(raw)
+                line = raw.strip()
                 if not line:
                     continue
-                try:
-                    rec = TraceRecord.from_jsonable(json.loads(line))
-                except (json.JSONDecodeError, KeyError, ValueError) as exc:
-                    if tolerant:
-                        self.skipped_lines += 1
-                        continue
-                    raise TraceFileError(
-                        f"{self.path}: malformed record line: {exc}"
-                    ) from exc
-                if where is None or where(rec):
+                rec = self._parse_line(line, tolerant)
+                if rec is not None and (where is None or where(rec)):
                     yield rec
 
     def read(self, tolerant: bool = False) -> Trace:
         """Load the whole file into a :class:`Trace`."""
         return Trace(list(self.iter_records(tolerant=tolerant)), self.nprocs)
+
+    def read_checked(self, tolerant: bool = True) -> tuple[Trace, int]:
+        """Load the file and report damage: (trace, lines skipped by
+        *this* read).  A nonzero count on a live file means the last
+        flush was torn -- poll again after the next flush."""
+        trace = self.read(tolerant=tolerant)
+        return trace, self.last_skipped_lines
+
+    # ------------------------------------------------------------------
+    # indexed window access (§4.3 rescan, without the full scan)
+    # ------------------------------------------------------------------
+    def seek_window(
+        self,
+        t_lo: float,
+        t_hi: float,
+        procs: Optional[set[int]] = None,
+        use_index: bool = True,
+    ) -> list[TraceRecord]:
+        """Records overlapping [t_lo, t_hi] (optionally only some procs).
+
+        On an indexed (v2) file only the byte ranges of blocks touching
+        the window are read; v1 / unindexed files fall back to a linear
+        scan with the same result.  ``use_index=False`` forces the
+        linear path (benchmarks use it to compare the two).
+
+        The paper (Section 4.3): "If the user wants to zoom in on a
+        particular event, the required arcs are reconstructed by
+        rescanning the appropriate portion of the trace file."
+        """
+
+        def wanted(r: TraceRecord) -> bool:
+            return (
+                r.t1 >= t_lo
+                and r.t0 <= t_hi
+                and (procs is None or r.proc in procs)
+            )
+
+        if self.index is None or not use_index:
+            return list(self.iter_records(wanted))
+
+        self.last_skipped_lines = 0
+        out: list[TraceRecord] = []
+        with self.path.open("rb") as fh:
+            for block in self.index.select(t_lo, t_hi, procs):
+                fh.seek(block.offset)
+                chunk = fh.read(block.nbytes)
+                self.bytes_read += len(chunk)
+                for raw in chunk.splitlines():
+                    line = raw.decode().strip()
+                    if not line:
+                        continue
+                    rec = self._parse_line(line, tolerant=True)
+                    if rec is not None and wanted(rec):
+                        out.append(rec)
+        return out
 
     def rescan_window(
         self,
@@ -176,24 +486,15 @@ class TraceFileReader:
         t_hi: float,
         procs: Optional[set[int]] = None,
     ) -> list[TraceRecord]:
-        """Records overlapping [t_lo, t_hi] (optionally only some procs).
-
-        The paper (Section 4.3): "If the user wants to zoom in on a
-        particular event, the required arcs are reconstructed by
-        rescanning the appropriate portion of the trace file."
-        """
-        return list(
-            self.iter_records(
-                lambda r: r.t1 >= t_lo
-                and r.t0 <= t_hi
-                and (procs is None or r.proc in procs)
-            )
-        )
+        """Alias of :meth:`seek_window` kept for the §4.3 vocabulary."""
+        return self.seek_window(t_lo, t_hi, procs)
 
 
-def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+def save_trace(
+    trace: Trace, path: Union[str, Path], version: int = FORMAT_VERSION
+) -> None:
     """Write an in-memory trace to a file in one shot."""
-    with TraceFileWriter(path, trace.nprocs) as writer:
+    with TraceFileWriter(path, trace.nprocs, version=version) as writer:
         for rec in trace:
             writer.write(rec)
 

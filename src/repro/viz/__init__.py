@@ -17,6 +17,7 @@ from .timespace import (
     MessageLine,
     TimeSpaceDiagram,
     build_diagram,
+    build_window_diagram,
     render_ascii,
 )
 
@@ -28,6 +29,7 @@ __all__ = [
     "TimeSpaceDiagram",
     "Viewport",
     "build_diagram",
+    "build_window_diagram",
     "render_ascii",
     "render_svg",
     "save_svg",

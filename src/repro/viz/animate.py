@@ -5,8 +5,15 @@
     can scroll through the history in both directions and change the
     time scale."
 
-:class:`AnimatedView` holds a fixed-width window over the diagram and
-yields successive ASCII frames as the window advances (or rewinds).
+:class:`AnimatedView` holds a fixed-width window over the history and
+yields successive ASCII frames as the window advances (or rewinds).  It
+runs in two modes:
+
+* over an in-memory :class:`TimeSpaceDiagram` (the original form);
+* over a trace *file*, via :meth:`AnimatedView.from_file` -- literally
+  "a window into the trace file": each frame fetches only the window's
+  records through ``TraceFileReader.seek_window``, so scrolling a huge
+  indexed (v2) trace never materializes the whole history.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from .layout import Viewport
-from .timespace import TimeSpaceDiagram, render_ascii
+from .timespace import TimeSpaceDiagram, build_diagram, render_ascii
 
 
 class AnimatedView:
@@ -22,12 +29,20 @@ class AnimatedView:
 
     def __init__(
         self,
-        diagram: TimeSpaceDiagram,
+        diagram: Optional[TimeSpaceDiagram] = None,
         window: Optional[float] = None,
         columns: int = 80,
+        *,
+        reader=None,
     ) -> None:
+        if (diagram is None) == (reader is None):
+            raise ValueError("pass exactly one of diagram or reader")
         self.diagram = diagram
-        t_lo, t_hi = diagram.trace.span
+        self.reader = reader
+        if reader is not None:
+            t_lo, t_hi = reader.span()
+        else:
+            t_lo, t_hi = diagram.trace.span
         self._t_lo = t_lo
         self._t_hi = max(t_hi, t_lo + 1.0)
         span = self._t_hi - self._t_lo
@@ -37,6 +52,17 @@ class AnimatedView:
         self.columns = columns
         self._start = self._t_lo
 
+    @classmethod
+    def from_file(
+        cls,
+        reader,
+        window: Optional[float] = None,
+        columns: int = 80,
+    ) -> "AnimatedView":
+        """A view streaming straight from a ``TraceFileReader`` --
+        frames load only their window's byte ranges on indexed files."""
+        return cls(window=window, columns=columns, reader=reader)
+
     # ------------------------------------------------------------------
     @property
     def position(self) -> float:
@@ -45,9 +71,17 @@ class AnimatedView:
     def viewport(self) -> Viewport:
         return Viewport(self._start, self._start + self.window, self.columns)
 
+    def _window_diagram(self) -> TimeSpaceDiagram:
+        if self.reader is None:
+            return self.diagram
+        records = self.reader.seek_window(
+            self._start, self._start + self.window
+        )
+        return build_diagram(records, nprocs=self.reader.nprocs)
+
     def frame(self) -> str:
         """Render the current window."""
-        return render_ascii(self.diagram, self.viewport(), self.columns)
+        return render_ascii(self._window_diagram(), self.viewport(), self.columns)
 
     # ------------------------------------------------------------------
     # scrolling "in both directions"

@@ -16,10 +16,10 @@ SVG renderer lives in :mod:`repro.viz.svg`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.trace.events import EventKind, TraceRecord
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, ensure_trace
 
 from .layout import Viewport
 
@@ -153,15 +153,17 @@ class TimeSpaceDiagram:
 
 
 def build_diagram(
-    trace: Trace,
+    trace: "Trace | Iterable[TraceRecord]",
     kinds: Optional[Sequence[EventKind]] = None,
+    nprocs: Optional[int] = None,
 ) -> TimeSpaceDiagram:
-    """Construct the display model from a trace.
+    """Construct the display model from a trace or any record stream.
 
     ``kinds`` restricts which constructs get bars (message lines always
     come from the matched pairs).  Zero-duration records (function
     entries) are skipped as bars -- they have no extent to draw.
     """
+    trace = ensure_trace(trace, nprocs=nprocs)
     diagram = TimeSpaceDiagram(trace=trace)
     wanted = set(kinds) if kinds is not None else None
     for rec in trace:
@@ -175,6 +177,22 @@ def build_diagram(
     for pair in trace.message_pairs():
         diagram.messages.append(MessageLine(send=pair.send, recv=pair.recv))
     return diagram
+
+
+def build_window_diagram(
+    reader,
+    t_lo: float,
+    t_hi: float,
+    procs: Optional[set[int]] = None,
+    kinds: Optional[Sequence[EventKind]] = None,
+) -> TimeSpaceDiagram:
+    """Display model for one window of a trace *file*, loading only the
+    relevant byte ranges of an indexed (v2) file via ``seek_window`` --
+    the NTV zoom without the full-file reload.  ``reader`` is a
+    ``TraceFileReader``; v1 files work through the linear fallback.
+    """
+    records = reader.seek_window(t_lo, t_hi, procs=procs)
+    return build_diagram(records, kinds=kinds, nprocs=reader.nprocs)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,72 @@
+"""The debug session's live trace stream (streaming pipeline surface)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ring import ring_program
+from repro.debugger import DebugSession
+from repro.trace import MemorySink, RingBufferSink
+
+
+@pytest.fixture()
+def session():
+    s = DebugSession(ring_program(rounds=2), 3)
+    yield s
+    s.shutdown()
+
+
+def test_subscriber_sees_full_history(session):
+    sink = MemorySink()
+    session.subscribe(sink)
+    session.run()
+    trace = session.trace()
+    assert [r.index for r in sink.records] == [r.index for r in trace]
+
+
+def test_callback_observes_live(session):
+    seen = []
+    session.add_trace_callback(lambda r: seen.append(r.kind))
+    session.run()
+    assert len(seen) == len(session.trace())
+
+
+def test_subscription_survives_replay(session):
+    sink = MemorySink()
+    session.subscribe(sink)
+    session.run()
+    n_first = len(sink)
+    assert n_first > 0
+    recv = next(r for r in session.trace() if r.is_recv)
+    session.set_stopline(recv.index)
+    session.replay()
+    # the sink observed the replay generation's records too
+    assert len(sink) > n_first
+    gen2 = sink.records[n_first:]
+    assert [r.index for r in gen2] == [r.index for r in session.trace()]
+
+
+def test_unsubscribe_stops_stream(session):
+    sink = MemorySink()
+    session.subscribe(sink)
+    session.unsubscribe(sink)
+    session.run()
+    assert len(sink) == 0
+
+
+def test_live_graph_matches_batch(session):
+    graph = session.live_graph()
+    session.run()
+    from repro.graphs.tracegraph import TraceGraph
+
+    batch = TraceGraph.from_trace(session.trace())
+    assert graph.events_consumed == batch.events_consumed
+    assert sorted(map(str, graph.nodes)) == sorted(map(str, batch.nodes))
+
+
+def test_ring_sink_bounds_session_memory(session):
+    ring = RingBufferSink(capacity=5)
+    session.subscribe(ring)
+    session.run()
+    assert len(ring) == 5
+    assert ring.evicted == len(session.trace()) - 5

@@ -1,0 +1,83 @@
+"""Incremental (sink-fed) trace graphs equal batch-built ones.
+
+The §3.2 trace graph is "built as the execution is running"; the
+streaming pipeline feeds it through a bus sink record-by-record.  These
+tests assert that path is *identical* -- nodes, every arc (including
+dissemination merge state), consumed-event counts -- to building from a
+materialized trace after the fact, on the ring and LU example apps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.apps.lu import LUConfig, lu_program
+from repro.apps.ring import ring_program
+from repro.graphs.tracegraph import TraceGraph
+from repro.instrument import WrapperLibrary, lifecycle_wrapper
+from repro.trace import TraceRecorder, save_trace, TraceFileReader
+
+
+def graph_state(g: TraceGraph):
+    """Complete observable state: nodes, per-edge arc lists, merges."""
+    edges = {}
+    for (kind, src, dst), arcs in g._edges.items():
+        edges[(kind.value, str(src), str(dst))] = [
+            (a.count, a.first_index, a.last_index, a.t0, a.t1, a.tag)
+            for a in arcs
+        ]
+    return {
+        "nodes": sorted(str(n) for n in g._node_edges),
+        "edges": edges,
+        "merges": {str(n): c for n, c in g._merge_counts.items()},
+        "events": g.events_consumed,
+        "total_merges": g.total_merges(),
+    }
+
+
+def run_with_live_graph(program, nprocs, arc_limit):
+    """One run with a graph subscribed to the live stream; returns
+    (live graph, trace snapshot)."""
+    rt = mp.Runtime(nprocs)
+    recorder = TraceRecorder(nprocs)
+    live = TraceGraph(nprocs, arc_limit)
+    recorder.subscribe(live.sink())
+    WrapperLibrary(rt, recorder)
+    rt.run(program, target_wrappers=[lifecycle_wrapper(recorder)])
+    rt.shutdown()
+    return live, recorder.snapshot()
+
+
+@pytest.mark.parametrize("arc_limit", [None, 4])
+def test_ring_incremental_equals_batch(arc_limit):
+    live, trace = run_with_live_graph(
+        ring_program(rounds=3), nprocs=4, arc_limit=arc_limit
+    )
+    batch = TraceGraph.from_trace(trace, arc_limit=arc_limit)
+    assert graph_state(live) == graph_state(batch)
+
+
+@pytest.mark.parametrize("arc_limit", [None, 6])
+def test_lu_incremental_equals_batch(arc_limit):
+    cfg = LUConfig(grid=16, nprocs=4, panels=2, sweeps=2)
+    live, trace = run_with_live_graph(
+        lu_program(cfg), nprocs=4, arc_limit=arc_limit
+    )
+    assert len(trace) > 0
+    batch = TraceGraph.from_trace(trace, arc_limit=arc_limit)
+    assert graph_state(live) == graph_state(batch)
+
+
+def test_file_stream_equals_batch(tmp_path):
+    """from_records over a file reader's stream matches the in-memory
+    build -- the post-mortem streaming path."""
+    _, trace = run_with_live_graph(ring_program(rounds=2), 4, arc_limit=8)
+    path = tmp_path / "ring.jsonl"
+    save_trace(trace, path)
+    reader = TraceFileReader(path)
+    streamed = TraceGraph.from_records(
+        reader.iter_records(), reader.nprocs, arc_limit=8
+    )
+    batch = TraceGraph.from_trace(trace, arc_limit=8)
+    assert graph_state(streamed) == graph_state(batch)

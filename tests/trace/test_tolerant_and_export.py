@@ -43,11 +43,23 @@ class TestTolerantReading:
         assert len(trace) == 3
         assert reader.skipped_lines == 1
 
-    def test_tolerant_read_counts_reset(self, truncated_file):
+    def test_skipped_lines_accumulate(self, truncated_file):
+        """Cumulative across reads: a rising count across polls of a live
+        file is how callers detect repeatedly-torn flushes."""
         reader = TraceFileReader(truncated_file)
         reader.read(tolerant=True)
         reader.read(tolerant=True)
-        assert reader.skipped_lines == 1  # per read, not cumulative
+        assert reader.skipped_lines == 2  # cumulative over the reader
+        assert reader.last_skipped_lines == 1  # this read alone
+
+    def test_read_checked_reports_per_read_damage(self, truncated_file):
+        reader = TraceFileReader(truncated_file)
+        trace, skipped = reader.read_checked()
+        assert len(trace) == 3
+        assert skipped == 1
+        _, skipped2 = reader.read_checked()
+        assert skipped2 == 1
+        assert reader.skipped_lines == 2
 
 
 class TestExportCommands:
