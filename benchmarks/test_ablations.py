@@ -25,7 +25,7 @@ from repro.instrument import (
     instrument_app_function,
     lifecycle_wrapper,
 )
-from repro.trace import EventKind, TraceRecorder
+from repro.trace import TraceRecorder
 
 from .conftest import traced_run, write_artifact
 

@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.apps import strassen as st
 from repro.debugger import DebugSession
-from repro.viz import Viewport, build_diagram, render_ascii, save_svg
+from repro.viz import build_diagram, render_ascii, save_svg
 
 OUT_DIR = Path(__file__).resolve().parent / "output"
 

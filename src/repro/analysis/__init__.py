@@ -10,9 +10,18 @@
   dependency detection (Figure 5).
 * :mod:`~repro.analysis.races` -- message-race detection and schedule
   exploration.
+* :mod:`~repro.analysis.history` -- the shared, incrementally-maintained
+  :class:`HistoryIndex` substrate every analysis above consumes.
 """
 
 from .causality import CausalOrder, check_trace_causality, compute_causal_order
+from .history import (
+    HistoryIndex,
+    IndexSink,
+    IndexStats,
+    StaleIndexError,
+    ensure_index,
+)
 from .deadlock import (
     DeadlockReport,
     analyze_deadlock,
@@ -61,6 +70,11 @@ __all__ = [
     "CausalOrder",
     "CommMatrix",
     "CriticalPath",
+    "HistoryIndex",
+    "IndexSink",
+    "IndexStats",
+    "StaleIndexError",
+    "ensure_index",
     "FunctionStats",
     "ProcTimeBreakdown",
     "communication_matrix",

@@ -128,15 +128,19 @@ def compute_causal_order(trace: Trace) -> CausalOrder:
     return CausalOrder(trace=trace, clocks=clocks)
 
 
-def check_trace_causality(trace: Trace) -> Optional[str]:
+def check_trace_causality(trace: Trace, index=None) -> Optional[str]:
     """Verify the fundamental invariant: no receive completes before its
     matching send completed (returns a description of the first
     violation, or None).
 
     This is the property that makes a vertical stopline a consistent cut
-    (§4.1: "no message was received before it was sent").
+    (§4.1: "no message was received before it was sent").  Pass a
+    :class:`~repro.analysis.history.HistoryIndex` via ``index=`` to reuse
+    an existing matching.
     """
-    for pair in trace.message_pairs():
+    from .history import ensure_index
+
+    for pair in ensure_index(trace, index=index).message_pairs():
         if pair.recv.t1 < pair.send.t1:
             return (
                 f"receive {pair.recv.index} (t1={pair.recv.t1}) completes "

@@ -22,10 +22,13 @@ their sends; per-process order is program order).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.trace.events import TraceRecord
-from repro.trace.trace import Trace, ensure_trace
+from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .history import HistoryIndex
 
 
 @dataclass
@@ -70,22 +73,28 @@ class CriticalPath:
         return "\n".join(lines)
 
 
-def critical_path(trace: "Trace | Iterable[TraceRecord]") -> CriticalPath:
+def critical_path(
+    trace: "Trace | Iterable[TraceRecord]",
+    index: "Optional[HistoryIndex]" = None,
+) -> CriticalPath:
     """Longest path through the happens-before DAG of the trace.
 
     Accepts a materialized :class:`Trace` or any record iterator (the
-    streaming consumers hand a file reader's stream straight in).
+    streaming consumers hand a file reader's stream straight in).  The
+    send-of-recv map and span come from the shared
+    :class:`~repro.analysis.history.HistoryIndex`.
     """
-    trace = ensure_trace(trace)
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     n = len(trace)
     if n == 0:
         return CriticalPath([], 0.0, 0.0, [])
 
     dist = [0.0] * n  # longest path ENDING at record i (inclusive)
     pred = [-1] * n
-    send_of_recv = {
-        pair.recv.index: pair.send.index for pair in trace.message_pairs()
-    }
+    send_of_recv = idx.send_of_recv
     last_on_proc: dict[int, int] = {}
 
     def work(rec: TraceRecord) -> float:
@@ -144,7 +153,7 @@ def critical_path(trace: "Trace | Iterable[TraceRecord]") -> CriticalPath:
         path.append(trace[i])
         i = pred[i]
     path.reverse()
-    t_lo, t_hi = trace.span
+    t_lo, t_hi = idx.span
     return CriticalPath(
         records=path,
         length=dist[end],
@@ -153,14 +162,22 @@ def critical_path(trace: "Trace | Iterable[TraceRecord]") -> CriticalPath:
     )
 
 
-def slack_per_process(trace: Trace, path: "CriticalPath | None" = None) -> dict[int, float]:
+def slack_per_process(
+    trace: Trace,
+    path: "CriticalPath | None" = None,
+    index: "Optional[HistoryIndex]" = None,
+) -> dict[int, float]:
     """Per-process slack: how much of the run each process spent NOT on
     the critical path (a target ranking for load balancing)."""
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     if path is None:
-        path = critical_path(trace)
+        path = critical_path(trace, index=idx)
     on_path: dict[int, float] = {p: 0.0 for p in range(trace.nprocs)}
     for rec, w in zip(path.records, path.weights):
         on_path[rec.proc] += w
-    t_lo, t_hi = trace.span
+    t_lo, t_hi = idx.span
     total = t_hi - t_lo
     return {p: max(0.0, total - on_path[p]) for p in range(trace.nprocs)}

@@ -18,16 +18,19 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import networkx as nx
 
 from repro.mp.datatypes import ANY_SOURCE
 from repro.mp.process import WaitInfo
 from repro.trace.events import TraceRecord
-from repro.trace.trace import Trace, ensure_trace
+from repro.trace.trace import Trace
 
 from .matching import MissedMessage, diagnose_missed_messages
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .history import HistoryIndex
 
 
 @dataclass
@@ -96,22 +99,27 @@ def analyze_deadlock(
     waiting: Sequence[WaitInfo],
     nprocs: int,
     trace: "Trace | Iterable[TraceRecord] | None" = None,
+    index: "Optional[HistoryIndex]" = None,
 ) -> DeadlockReport:
     """Full deadlock analysis.
 
     ``waiting`` usually comes from ``RunReport.waiting`` or
     ``Runtime.blocked_waits()``.  Supplying the trace -- either
     materialized or as any record iterator (a trace-file stream, a
-    sink's history) -- enables the missed-message causal diagnosis.
+    sink's history) -- or a :class:`~repro.analysis.history.HistoryIndex`
+    enables the missed-message causal diagnosis without re-deriving the
+    unmatched-send list.
     """
     graph = build_wait_graph(waiting, nprocs)
     report = DeadlockReport(
         waiting=list(waiting),
         cycles=find_cycles(graph),
     )
-    if trace is not None:
-        trace = ensure_trace(trace, nprocs=nprocs)
-        report.missed = diagnose_missed_messages(trace.unmatched_sends(), waiting)
+    if trace is not None or index is not None:
+        from .history import ensure_index
+
+        idx = ensure_index(trace, nprocs=nprocs, index=index)
+        report.missed = diagnose_missed_messages(idx.unmatched_sends(), waiting)
     return report
 
 

@@ -20,12 +20,17 @@ here as the per-process marker thresholds the two frontiers induce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.trace.events import TraceRecord
-from repro.trace.trace import Trace, ensure_trace
+from repro.trace.trace import Trace
 
-from .causality import CausalOrder, compute_causal_order
+from .causality import CausalOrder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .history import HistoryIndex
 
 
 @dataclass
@@ -99,16 +104,23 @@ def analyze_frontiers(
     trace: "Trace | Iterable[TraceRecord]",
     event_index: int,
     order: Optional[CausalOrder] = None,
+    index: "Optional[HistoryIndex]" = None,
 ) -> FrontierAnalysis:
     """Compute past/future frontiers of the event at ``event_index``.
 
     ``trace`` may be a materialized :class:`Trace` or any record
     iterator (e.g. a trace-file reader's stream) -- the streaming form
-    of the §4.1 analysis.
+    of the §4.1 analysis.  The causal order comes from the shared
+    :class:`~repro.analysis.history.HistoryIndex` (``index=`` to pass an
+    existing one; a bare trace memoizes one on demand); an explicit
+    ``order=`` still wins for back compatibility.
     """
-    trace = ensure_trace(trace)
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     if order is None:
-        order = compute_causal_order(trace)
+        order = idx.order
     event = trace[event_index]
 
     past = set(order.past(event_index))
@@ -117,7 +129,7 @@ def analyze_frontiers(
     past_frontier = Frontier()
     future_frontier = Frontier()
     for p in range(trace.nprocs):
-        rows = trace.by_proc(p)
+        rows = idx.by_proc(p)
         last_past = None
         first_future = None
         for rec in rows:
@@ -141,23 +153,41 @@ def is_antichain(
     trace: "Trace | Iterable[TraceRecord]",
     indexes: Sequence[int],
     order: Optional[CausalOrder] = None,
+    index: "Optional[HistoryIndex]" = None,
 ) -> bool:
     """Literal reading of the paper's definition: "a set of events in
-    which no event happens before another"."""
-    trace = ensure_trace(trace)
+    which no event happens before another".
+
+    One vectorized clock-matrix comparison over the k selected events:
+    ``a -> b`` iff ``VC[a][proc(a)] <= VC[b][proc(a)]``, so gathering
+    each member's own clock component and comparing against the k x k
+    matrix of those components answers every pair at once.
+    """
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     if order is None:
-        order = compute_causal_order(trace)
-    for i in indexes:
-        for j in indexes:
-            if i != j and order.happens_before(i, j):
-                return False
-    return True
+        order = idx.order
+    sel = np.asarray(list(indexes), dtype=np.int64)
+    k = len(sel)
+    if k < 2:
+        return True
+    procs = np.fromiter((trace[int(i)].proc for i in sel), dtype=np.int64, count=k)
+    clocks = order.clocks[sel]  # (k, nprocs)
+    own = clocks[np.arange(k), procs]  # own component of each member
+    # hb[b, a] <=> member a happens before member b (a's own component
+    # is visible in b's clock).
+    hb = own[None, :] <= clocks[:, procs]
+    distinct = sel[None, :] != sel[:, None]  # i != j on *event* identity
+    return not bool(np.any(hb & distinct))
 
 
 def cut_of_frontier(
     trace: "Trace | Iterable[TraceRecord]",
     indexes: Sequence[int],
     inclusive: bool = True,
+    index: "Optional[HistoryIndex]" = None,
 ) -> Optional[set[int]]:
     """The per-process prefix cut a frontier bounds.
 
@@ -170,7 +200,10 @@ def cut_of_frontier(
 
     Returns None for an ill-formed frontier (two members on one process).
     """
-    trace = ensure_trace(trace)
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     members = [trace[i] for i in indexes]
     by_proc: dict[int, int] = {}
     for rec in members:
@@ -179,7 +212,7 @@ def cut_of_frontier(
         by_proc[rec.proc] = rec.index
     included: set[int] = set()
     for p, limit in by_proc.items():
-        for rec in trace.by_proc(p):
+        for rec in idx.by_proc(p):
             if rec.index < limit or (inclusive and rec.index == limit):
                 included.add(rec.index)
             if rec.index >= limit:
@@ -187,7 +220,11 @@ def cut_of_frontier(
     return included
 
 
-def is_consistent_cut(trace: Trace, included: "set[int]") -> bool:
+def is_consistent_cut(
+    trace: Trace,
+    included: "set[int]",
+    index: "Optional[HistoryIndex]" = None,
+) -> bool:
     """Is the event set closed under happens-before?
 
     Messages are the only cross-process causality, so a per-process
@@ -196,7 +233,10 @@ def is_consistent_cut(trace: Trace, included: "set[int]") -> bool:
     it was sent" criterion (§4.1).  (The caller guarantees the
     per-process prefix property; :func:`cut_of_frontier` constructs it.)
     """
-    for pair in trace.message_pairs():
+    from .history import ensure_index
+
+    pairs = ensure_index(trace, index=index).message_pairs()
+    for pair in pairs:
         if pair.recv.index in included and pair.send.index not in included:
             return False
     return True
@@ -207,6 +247,7 @@ def is_consistent_frontier(
     indexes: Sequence[int],
     order: Optional[CausalOrder] = None,
     inclusive: bool = True,
+    index: "Optional[HistoryIndex]" = None,
 ) -> bool:
     """Does this frontier bound a consistent cut?
 
@@ -219,9 +260,12 @@ def is_consistent_frontier(
     literal reading): a past-frontier member may causally precede
     another through a message chain without invalidating the cut.
     """
+    from .history import ensure_index
+
     del order  # kept for signature compatibility; cut test needs no VCs
-    trace = ensure_trace(trace)
-    included = cut_of_frontier(trace, indexes, inclusive=inclusive)
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
+    included = cut_of_frontier(trace, indexes, inclusive=inclusive, index=idx)
     if included is None:
         return False
-    return is_consistent_cut(trace, included)
+    return is_consistent_cut(trace, included, index=idx)

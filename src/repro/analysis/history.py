@@ -1,0 +1,490 @@
+"""The :class:`HistoryIndex`: one shared analysis substrate per trace.
+
+Every history analysis the debugger offers (§4.1-§4.4: frontiers,
+stoplines, deadlock, races, critical path, matching reports) rests on
+the same derived primitives -- vector clocks, send/receive matching,
+per-process program-order rows, span/marker lookup tables -- and before
+this module each analysis re-derived them with a full O(n*p) pass over
+the trace.  MAD's event-graph-centric design (Kranzlmüller et al.) and
+Okita et al.'s scalable trace analysis both argue the opposite
+structure: *one* incrementally-maintained derived-state container that
+all debugging activities consume.  That container is this class.
+
+Maintenance is incremental with a lazy catch-up discipline:
+
+* :meth:`extend` (fed by an :class:`IndexSink` on the TraceBus) appends
+  the record and updates the O(1) components eagerly -- program-order
+  rows, the (proc, marker) lookup table, the span;
+* the expensive components -- vector clocks and message matching --
+  keep a high-water mark and, on first access after new records
+  arrived, fold in only the suffix (amortized O(p) per record).  They
+  are never rebuilt from scratch once built, which is what
+  ``stats().clock_builds == 1`` asserts.
+
+Generation discipline: an index belongs to one execution.  When
+``DebugSession.replay()``/``undo()`` discards an execution it calls
+:meth:`invalidate` on that generation's index; a stale index refuses
+every query (raising :class:`StaleIndexError`) so analyses can never
+silently read the previous execution's history.
+
+Sharing discipline: :func:`ensure_index` memoizes the index on the
+:class:`~repro.trace.trace.Trace` itself, so consumers that still take
+a bare trace (the pre-index call signatures all still work) share one
+index per trace without threading any argument.
+
+Incremental matching assumes trace causality (a receive record never
+precedes its matching send record -- the recording order is a causal
+linearization, the same §4.1 property stoplines rest on).  A trace that
+violates it -- see :func:`~repro.analysis.causality.check_trace_causality`
+-- would list such receives as unmatched where the batch two-pass
+matcher pairs them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.trace.events import TraceRecord
+from repro.trace.sinks import TraceSink
+from repro.trace.trace import MessagePair, Trace, ensure_trace
+
+from .causality import CausalOrder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mp.process import WaitInfo
+
+
+class StaleIndexError(RuntimeError):
+    """A query hit an index whose execution generation was discarded."""
+
+
+@dataclass
+class IndexStats:
+    """Observability snapshot of one index's build/extend economics.
+
+    ``*_builds`` counts from-scratch derivations of a component (the
+    multi-analysis acceptance criterion: exactly one each per trace);
+    ``*_extends`` counts records folded in incrementally;
+    ``*_seconds`` is wall-clock spent deriving; ``hits``/``misses``
+    count memoized-component lookups per component name.
+    """
+
+    generation: int = 0
+    records: int = 0
+    clock_builds: int = 0
+    clock_extends: int = 0
+    clock_seconds: float = 0.0
+    matching_builds: int = 0
+    matching_extends: int = 0
+    matching_seconds: float = 0.0
+    trace_snapshots: int = 0
+    hits: dict = field(default_factory=dict)
+    misses: dict = field(default_factory=dict)
+
+    def hit(self, component: str) -> None:
+        self.hits[component] = self.hits.get(component, 0) + 1
+
+    def miss(self, component: str) -> None:
+        self.misses[component] = self.misses.get(component, 0) + 1
+
+    def snapshot(self) -> "IndexStats":
+        return IndexStats(
+            generation=self.generation,
+            records=self.records,
+            clock_builds=self.clock_builds,
+            clock_extends=self.clock_extends,
+            clock_seconds=self.clock_seconds,
+            matching_builds=self.matching_builds,
+            matching_extends=self.matching_extends,
+            matching_seconds=self.matching_seconds,
+            trace_snapshots=self.trace_snapshots,
+            hits=dict(self.hits),
+            misses=dict(self.misses),
+        )
+
+    def as_text(self) -> str:
+        lines = [
+            f"history index stats (generation {self.generation}, "
+            f"{self.records} records)",
+            f"  vector clocks : {self.clock_builds} build(s), "
+            f"{self.clock_extends} record(s) folded, "
+            f"{self.clock_seconds * 1e3:.2f} ms",
+            f"  matching      : {self.matching_builds} build(s), "
+            f"{self.matching_extends} record(s) folded, "
+            f"{self.matching_seconds * 1e3:.2f} ms",
+            f"  trace snapshots: {self.trace_snapshots}",
+        ]
+        for name in sorted(set(self.hits) | set(self.misses)):
+            lines.append(
+                f"  {name:<13s} : {self.hits.get(name, 0)} hit(s), "
+                f"{self.misses.get(name, 0)} miss(es)"
+            )
+        return "\n".join(lines)
+
+
+class HistoryIndex:
+    """Shared, incrementally-maintained derived state for one history.
+
+    Components (each computed once, then extended):
+
+    * ``order`` -- vector clocks as a :class:`CausalOrder`;
+    * ``message_pairs()`` / ``unmatched_sends()`` / ``unmatched_recvs()``
+      / ``send_of_recv`` -- send/receive matching;
+    * ``by_proc(p)`` -- per-process program-order rows;
+    * ``span`` / ``record_at_marker()`` -- span and marker lookup;
+    * ``blocked`` -- the runtime's blocked-wait snapshot, when supplied.
+
+    ``trace`` materializes (and memoizes) an immutable
+    :class:`~repro.trace.trace.Trace` view over the indexed records for
+    consumers that navigate positionally.
+    """
+
+    def __init__(
+        self,
+        records: Optional[Iterable[TraceRecord]] = None,
+        nprocs: Optional[int] = None,
+        generation: int = 0,
+    ) -> None:
+        if nprocs is None:
+            if records is None:
+                raise ValueError("need nprocs when starting from an empty stream")
+            records = list(records)
+            nprocs = 0
+            for rec in records:
+                nprocs = max(nprocs, rec.proc + 1, rec.src + 1, rec.dst + 1)
+        self.nprocs = max(1, nprocs)
+        self.generation = generation
+        self._stale = False
+        self._records: list[TraceRecord] = []
+        # eager O(1) components -------------------------------------------
+        self._rows: list[list[TraceRecord]] = [[] for _ in range(self.nprocs)]
+        self._marker_first: dict[tuple[int, int], TraceRecord] = {}
+        self._t_lo: Optional[float] = None
+        self._t_hi: Optional[float] = None
+        # matching (lazy catch-up) ----------------------------------------
+        self._matched_upto = 0
+        self._open_sends: dict[tuple[int, int, int, int], TraceRecord] = {}
+        self._pairs: list[MessagePair] = []
+        self._send_of_recv: dict[int, int] = {}
+        self._unmatched_recvs: list[TraceRecord] = []
+        # vector clocks (lazy catch-up) -----------------------------------
+        self._clocked_upto = 0
+        self._clocks = np.zeros((0, self.nprocs), dtype=np.int64)
+        self._current = np.zeros((self.nprocs, self.nprocs), dtype=np.int64)
+        # memoized views ---------------------------------------------------
+        self._trace: Optional[Trace] = None
+        self._order: Optional[CausalOrder] = None
+        self._blocked: Optional[list["WaitInfo"]] = None
+        self._stats = IndexStats(generation=generation)
+        if records is not None:
+            self.extend_many(records)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Trace, generation: int = 0) -> "HistoryIndex":
+        """Index an existing immutable trace (the batch entry point).
+
+        When the trace's record indexes are already positional the trace
+        object itself becomes the index's materialized view, so
+        trace-level caches (``by_proc`` and friends) are shared rather
+        than duplicated.
+        """
+        index = cls(nprocs=trace.nprocs, generation=generation)
+        positional = all(rec.index == k for k, rec in enumerate(trace))
+        index.extend_many(trace)
+        if positional:
+            index._trace = trace
+            index._stats.trace_snapshots += 1
+        return index
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Mark this generation's history as discarded (post-replay).
+
+        Every subsequent query or extension raises
+        :class:`StaleIndexError`: an index must never answer for an
+        execution that no longer exists.
+        """
+        self._stale = True
+
+    @property
+    def stale(self) -> bool:
+        return self._stale
+
+    def _check_live(self) -> None:
+        if self._stale:
+            raise StaleIndexError(
+                f"history index for generation {self.generation} was "
+                "invalidated by a replay; ask the session for the current "
+                "generation's index"
+            )
+
+    # ------------------------------------------------------------------
+    # extension (the IndexSink feed)
+    # ------------------------------------------------------------------
+    def extend(self, record: TraceRecord) -> None:
+        """Fold one record in: O(1) now, amortized O(p) once the clock
+        and matching components catch up to it."""
+        self._check_live()
+        pos = len(self._records)
+        if record.index != pos:
+            # windowed / ring-buffer streams have sparse global indexes;
+            # positional invariants (clock rows, path DP) need re-indexed
+            # copies, same as ensure_trace.
+            record = replace(record, index=pos)
+        self._records.append(record)
+        if 0 <= record.proc < self.nprocs:
+            self._rows[record.proc].append(record)
+            self._marker_first.setdefault((record.proc, record.marker), record)
+        if self._t_lo is None or record.t0 < self._t_lo:
+            self._t_lo = record.t0
+        if self._t_hi is None or record.t1 > self._t_hi:
+            self._t_hi = record.t1
+        self._stats.records = len(self._records)
+
+    def extend_many(self, records: Iterable[TraceRecord]) -> int:
+        n = 0
+        for rec in records:
+            self.extend(rec)
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[TraceRecord]:
+        return self._records
+
+    def sink(self) -> "IndexSink":
+        """A bus sink feeding this index (attach to a recorder)."""
+        return IndexSink(self)
+
+    # ------------------------------------------------------------------
+    # eager components
+    # ------------------------------------------------------------------
+    def by_proc(self, proc: int) -> Sequence[TraceRecord]:
+        """This process's records in program order (live view)."""
+        self._check_live()
+        return self._rows[proc]
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(earliest t0, latest t1); (0, 0) while empty."""
+        self._check_live()
+        if self._t_lo is None or self._t_hi is None:
+            return (0.0, 0.0)
+        return (self._t_lo, self._t_hi)
+
+    def record_at_marker(self, proc: int, marker: int) -> Optional[TraceRecord]:
+        """First record of ``proc`` carrying ``marker`` (O(1) lookup)."""
+        self._check_live()
+        return self._marker_first.get((proc, marker))
+
+    def window(self, t_lo: float, t_hi: float) -> list[TraceRecord]:
+        """Records overlapping [t_lo, t_hi] (the zoom-rescan primitive)."""
+        self._check_live()
+        return [r for r in self._records if r.t1 >= t_lo and r.t0 <= t_hi]
+
+    # ------------------------------------------------------------------
+    # message matching
+    # ------------------------------------------------------------------
+    def _ensure_matching(self) -> None:
+        n = len(self._records)
+        if self._matched_upto >= n:
+            self._stats.hit("matching")
+            return
+        self._stats.miss("matching")
+        start = time.perf_counter()
+        if self._matched_upto == 0:
+            self._stats.matching_builds += 1
+        lo = self._matched_upto
+        for rec in self._records[lo:]:
+            if rec.is_send:
+                self._open_sends[rec.message_key()] = rec
+            elif rec.is_recv:
+                send = self._open_sends.pop(rec.message_key(), None)
+                if send is None:
+                    self._unmatched_recvs.append(rec)
+                else:
+                    self._pairs.append(MessagePair(send, rec))
+                    self._send_of_recv[rec.index] = send.index
+        self._matched_upto = n
+        self._stats.matching_extends += n - lo
+        self._stats.matching_seconds += time.perf_counter() - start
+
+    def message_pairs(self) -> list[MessagePair]:
+        """All matched (send, recv) pairs, in receive order."""
+        self._check_live()
+        self._ensure_matching()
+        return self._pairs
+
+    def unmatched_sends(self) -> list[TraceRecord]:
+        """Sends whose message was never received, in trace order."""
+        self._check_live()
+        self._ensure_matching()
+        return list(self._open_sends.values())
+
+    def unmatched_recvs(self) -> list[TraceRecord]:
+        """Receives with no matching send in the indexed history."""
+        self._check_live()
+        self._ensure_matching()
+        return self._unmatched_recvs
+
+    @property
+    def send_of_recv(self) -> dict[int, int]:
+        """recv record index -> matched send record index."""
+        self._check_live()
+        self._ensure_matching()
+        return self._send_of_recv
+
+    # ------------------------------------------------------------------
+    # vector clocks
+    # ------------------------------------------------------------------
+    def _ensure_clocks(self) -> None:
+        n = len(self._records)
+        if self._clocked_upto >= n:
+            self._stats.hit("clocks")
+            return
+        self._ensure_matching()  # recv joins need send_of_recv
+        self._stats.miss("clocks")
+        start = time.perf_counter()
+        if self._clocked_upto == 0:
+            self._stats.clock_builds += 1
+        if self._clocks.shape[0] < n:
+            cap = max(64, n, 2 * self._clocks.shape[0])
+            grown = np.zeros((cap, self.nprocs), dtype=np.int64)
+            grown[: self._clocks.shape[0]] = self._clocks
+            self._clocks = grown
+        lo = self._clocked_upto
+        clocks = self._clocks
+        current = self._current
+        send_of_recv = self._send_of_recv
+        for rec in self._records[lo:]:
+            p = rec.proc
+            row = current[p]
+            row[p] += 1
+            s = send_of_recv.get(rec.index)
+            if s is not None:
+                np.maximum(row, clocks[s], out=row)
+            clocks[rec.index] = row
+        self._clocked_upto = n
+        self._stats.clock_extends += n - lo
+        self._stats.clock_seconds += time.perf_counter() - start
+
+    @property
+    def clocks(self) -> np.ndarray:
+        """The (n_records, nprocs) vector-clock matrix (read-only view)."""
+        self._check_live()
+        self._ensure_clocks()
+        return self._clocks[: len(self._records)]
+
+    @property
+    def order(self) -> CausalOrder:
+        """Happens-before queries over the indexed history.
+
+        The returned :class:`CausalOrder` is a zero-copy view of the
+        incrementally-maintained clock matrix; accessing it never
+        re-derives clocks already computed.
+        """
+        self._check_live()
+        self._ensure_clocks()
+        trace = self.trace
+        if self._order is None or self._order.trace is not trace:
+            self._stats.miss("order")
+            self._order = CausalOrder(
+                trace=trace, clocks=self._clocks[: len(self._records)]
+            )
+        else:
+            self._stats.hit("order")
+        return self._order
+
+    # ------------------------------------------------------------------
+    # trace view
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> Trace:
+        """An immutable Trace snapshot of the indexed records, memoized
+        until the next extension."""
+        self._check_live()
+        if self._trace is None or len(self._trace) != len(self._records):
+            self._stats.miss("trace")
+            self._stats.trace_snapshots += 1
+            self._trace = Trace(self._records, self.nprocs)
+            # The snapshot and the index describe the same history; hand
+            # the trace our derived state so its own lazy accessors
+            # never re-derive what the index already holds.
+            bind_trace_index(self._trace, self)
+        else:
+            self._stats.hit("trace")
+        return self._trace
+
+    # ------------------------------------------------------------------
+    # blocked-wait state (runtime snapshot for §4.4 diagnoses)
+    # ------------------------------------------------------------------
+    def set_blocked(self, waiting: Optional[Sequence["WaitInfo"]]) -> None:
+        """Cache the runtime's blocked-wait snapshot for §4.4 consumers
+        (missed-message and deadlock diagnoses)."""
+        self._check_live()
+        self._blocked = list(waiting) if waiting is not None else None
+
+    @property
+    def blocked(self) -> Optional[list["WaitInfo"]]:
+        self._check_live()
+        return self._blocked
+
+    # ------------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        """A point-in-time copy of the build/extend counters."""
+        return self._stats.snapshot()
+
+
+class IndexSink(TraceSink):
+    """Feeds a :class:`HistoryIndex` from a TraceBus as records stream
+    in -- the streaming half of the shared substrate."""
+
+    def __init__(self, index: HistoryIndex) -> None:
+        self.index = index
+
+    def emit(self, record: TraceRecord) -> None:
+        self.index.extend(record)
+
+
+def bind_trace_index(trace: Trace, index: HistoryIndex) -> None:
+    """Memoize ``index`` on ``trace`` so every consumer handed the bare
+    trace shares the same derived state (the back-compat seam)."""
+    trace._history_index = index
+
+
+def ensure_index(
+    source: "HistoryIndex | Trace | Iterable[TraceRecord]",
+    nprocs: Optional[int] = None,
+    index: Optional[HistoryIndex] = None,
+) -> HistoryIndex:
+    """Coerce anything history-shaped into a shared :class:`HistoryIndex`.
+
+    Precedence: an explicitly passed ``index`` wins; an index argument
+    passes through; a :class:`Trace` gets an index memoized *on the
+    trace object*, so repeated analyses over the same trace share one
+    derivation; any other record iterable is materialized first.
+    """
+    if index is not None:
+        return index
+    if isinstance(source, HistoryIndex):
+        return source
+    if not isinstance(source, Trace):
+        source = ensure_trace(source, nprocs=nprocs)
+    cached = getattr(source, "_history_index", None)
+    if cached is not None and not cached.stale:
+        return cached
+    built = HistoryIndex.from_trace(source)
+    bind_trace_index(source, built)
+    return built

@@ -22,12 +22,15 @@ Three diagnostics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
 from repro.mp.process import WaitInfo, WaitKind
 from repro.trace.events import TraceRecord
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .history import HistoryIndex
 
 
 @dataclass(frozen=True)
@@ -103,12 +106,17 @@ class MatchingReport:
         return "\n".join(lines)
 
 
-def find_intertwined(trace: Trace) -> list[IntertwinedPair]:
+def find_intertwined(
+    trace: Trace,
+    index: "Optional[HistoryIndex]" = None,
+) -> list[IntertwinedPair]:
     """Pairs of same-(src,dst) messages whose receive order inverts the
     send order.  Under non-overtaking this can only happen across
     different tags (the same-tag case would be a runtime bug)."""
+    from .history import ensure_index
+
     out: list[IntertwinedPair] = []
-    pairs = trace.message_pairs()
+    pairs = ensure_index(trace, index=index).message_pairs()
     by_route: dict[tuple[int, int], list] = {}
     for p in pairs:
         by_route.setdefault((p.send.src, p.send.dst), []).append(p)
@@ -155,14 +163,27 @@ def diagnose_missed_messages(
 def analyze_matching(
     trace: Trace,
     blocked: Optional[Sequence[WaitInfo]] = None,
+    index: "Optional[HistoryIndex]" = None,
 ) -> MatchingReport:
     """The full §4.4 first-level report for a trace (plus, when the
-    runtime's blocked-wait list is supplied, missed-message diagnoses)."""
+    runtime's blocked-wait list is supplied, missed-message diagnoses).
+
+    Unmatched lists and pairs come from the shared
+    :class:`~repro.analysis.history.HistoryIndex`; when neither
+    ``blocked`` nor ``index`` is given but the index carries live
+    blocked-wait state (fed by :meth:`DebugSession.index`), that state
+    is used for the missed-message diagnosis.
+    """
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
     report = MatchingReport(
-        unmatched_sends=trace.unmatched_sends(),
-        unmatched_recvs=trace.unmatched_recvs(),
-        intertwined=find_intertwined(trace),
+        unmatched_sends=idx.unmatched_sends(),
+        unmatched_recvs=idx.unmatched_recvs(),
+        intertwined=find_intertwined(idx.trace, index=idx),
     )
+    if blocked is None:
+        blocked = idx.blocked
     if blocked:
         report.missed = diagnose_missed_messages(report.unmatched_sends, blocked)
     return report

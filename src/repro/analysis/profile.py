@@ -18,12 +18,16 @@ Each has an ``as_text`` rendering used by the debugger's reporting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.trace.events import COLLECTIVE_KINDS, EventKind
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .history import HistoryIndex
 
 
 # ----------------------------------------------------------------------
@@ -53,7 +57,10 @@ class ProcTimeBreakdown:
         )
 
 
-def time_breakdown(trace: Trace) -> list[ProcTimeBreakdown]:
+def time_breakdown(
+    trace: Trace,
+    index: "Optional[HistoryIndex]" = None,
+) -> list[ProcTimeBreakdown]:
     """Per-process virtual-time decomposition.
 
     Receive time is split at the matched message's send completion: the
@@ -64,6 +71,10 @@ def time_breakdown(trace: Trace) -> list[ProcTimeBreakdown]:
     (approximated as the collective record's duration minus contained
     message durations, floored at zero).
     """
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     out = [ProcTimeBreakdown(p) for p in range(trace.nprocs)]
     for rec in trace:
         row = out[rec.proc]
@@ -81,15 +92,15 @@ def time_breakdown(trace: Trace) -> list[ProcTimeBreakdown]:
         elif rec.kind in COLLECTIVE_KINDS:
             inner = sum(
                 r.duration
-                for r in trace.by_proc(rec.proc)
+                for r in idx.by_proc(rec.proc)
                 if r.is_message and rec.t0 <= r.t0 and r.t1 <= rec.t1
             )
             row.collective += max(0.0, rec.duration - inner)
     return out
 
 
-def time_breakdown_text(trace: Trace) -> str:
-    rows = time_breakdown(trace)
+def time_breakdown_text(trace: Trace, index: "Optional[HistoryIndex]" = None) -> str:
+    rows = time_breakdown(trace, index=index)
     lines = ["proc   compute     send  recv-wait  recv-ovhd  collective"]
     for r in rows:
         lines.append(
@@ -131,7 +142,11 @@ class CommMatrix:
         return "\n".join(lines)
 
 
-def communication_matrix(trace: Trace, user_only: bool = True) -> CommMatrix:
+def communication_matrix(
+    trace: Trace,
+    user_only: bool = True,
+    index: "Optional[HistoryIndex]" = None,
+) -> CommMatrix:
     """Build the route matrix from send records.
 
     ``user_only`` drops collective plumbing (reserved tags), showing the
@@ -139,6 +154,9 @@ def communication_matrix(trace: Trace, user_only: bool = True) -> CommMatrix:
     """
     from repro.mp.datatypes import COLLECTIVE_TAG_BASE
 
+    from .history import ensure_index
+
+    trace = ensure_index(trace, index=index).trace
     counts = np.zeros((trace.nprocs, trace.nprocs), dtype=np.int64)
     volume = np.zeros_like(counts)
     for rec in trace:
@@ -169,13 +187,20 @@ class FunctionStats:
         return self.inclusive / self.calls if self.calls else 0.0
 
 
-def function_profile(trace: Trace) -> dict[str, FunctionStats]:
+def function_profile(
+    trace: Trace,
+    index: "Optional[HistoryIndex]" = None,
+) -> dict[str, FunctionStats]:
     """gprof-flavoured profile from FUNC_ENTRY/FUNC_EXIT records."""
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     stats: dict[str, FunctionStats] = {}
     for p in range(trace.nprocs):
         # stack of [name, t_entry, child_time]
         stack: list[list] = []
-        for rec in trace.by_proc(p):
+        for rec in idx.by_proc(p):
             if rec.kind is EventKind.FUNC_ENTRY:
                 stack.append([rec.location.function, rec.t0, 0.0])
             elif rec.kind is EventKind.FUNC_EXIT and stack:
@@ -192,9 +217,13 @@ def function_profile(trace: Trace) -> dict[str, FunctionStats]:
     return stats
 
 
-def function_profile_text(trace: Trace, top: int = 15) -> str:
+def function_profile_text(
+    trace: Trace,
+    top: int = 15,
+    index: "Optional[HistoryIndex]" = None,
+) -> str:
     stats = sorted(
-        function_profile(trace).values(), key=lambda s: -s.exclusive
+        function_profile(trace, index=index).values(), key=lambda s: -s.exclusive
     )[:top]
     lines = ["function                     calls   inclusive   exclusive"]
     for s in stats:

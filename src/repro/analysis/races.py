@@ -22,13 +22,16 @@ other send could have been delivered instead.  Two detectors:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
 from repro.trace.events import TraceRecord
 from repro.trace.trace import Trace
 
-from .causality import CausalOrder, compute_causal_order
+from .causality import CausalOrder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .history import HistoryIndex
 
 
 @dataclass
@@ -68,6 +71,7 @@ def detect_races(
     trace: Trace,
     order: Optional[CausalOrder] = None,
     include_tag_wildcards: bool = True,
+    index: "Optional[HistoryIndex]" = None,
 ) -> list[MessageRace]:
     """All wildcard receives with at least one racing alternative.
 
@@ -78,10 +82,19 @@ def detect_races(
     * ``r`` does not happen before ``s2`` -- i.e. ``s2`` does not
       causally depend on the outcome of ``r``, so a different schedule
       could have had ``s2``'s message available at ``r``.
+
+    Derived state (clocks, matching) comes from the shared
+    :class:`~repro.analysis.history.HistoryIndex`: pass ``index=`` (or
+    a precomputed ``order=``) when a caller already holds one; a bare
+    trace memoizes the index so nothing is derived twice either way.
     """
+    from .history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     if order is None:
-        order = compute_causal_order(trace)
-    pairs = {p.recv.index: p.send for p in trace.message_pairs()}
+        order = idx.order
+    pairs = {p.recv.index: p.send for p in idx.message_pairs()}
     sends = [r for r in trace if r.is_send]
     races: list[MessageRace] = []
     for rec in trace:
@@ -116,6 +129,7 @@ def steer_to_alternative(
     race: MessageRace,
     alternative: TraceRecord,
     order: Optional[CausalOrder] = None,
+    index: "Optional[HistoryIndex]" = None,
 ):
     """Build a forcing log that delivers ``alternative`` to the racing
     receive -- deterministic exploration of the other side of a race.
@@ -138,10 +152,14 @@ def steer_to_alternative(
     from repro.mp.message import Envelope
     from repro.mp.record import CommLog
 
+    from .history import ensure_index
+
     if alternative.index not in {a.index for a in race.alternatives}:
         raise ValueError("alternative is not one of the race's candidates")
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     if order is None:
-        order = compute_causal_order(trace)
+        order = idx.order
 
     rank = race.recv.proc
     alt_env = Envelope(

@@ -28,6 +28,7 @@ Commands::
     profile                 per-process time breakdown + comm matrix
     critical                critical-path analysis of the trace
     races                   wildcard message races in the trace
+    stats                   history-index build/extend counters
     save-trace <file>       write the history to a trace file
     export-svg <file>       render the time-space diagram as SVG
     help                    this text
@@ -36,7 +37,7 @@ Commands::
 from __future__ import annotations
 
 import shlex
-from typing import Callable, Optional
+from typing import Callable
 
 from .session import DebugSession
 from .stopline import StoplinePlacement
@@ -76,6 +77,7 @@ class CommandInterpreter:
             "profile": self._cmd_profile,
             "critical": self._cmd_critical,
             "races": self._cmd_races,
+            "stats": self._cmd_stats,
             "save-trace": self._cmd_save_trace,
             "export-svg": self._cmd_export_svg,
             "help": self._cmd_help,
@@ -234,9 +236,14 @@ class CommandInterpreter:
             time_breakdown_text,
         )
 
-        trace = self.session.trace()
-        parts = [time_breakdown_text(trace), "", communication_matrix(trace).as_text()]
-        fn = function_profile_text(trace)
+        idx = self.session.index()
+        trace = idx.trace
+        parts = [
+            time_breakdown_text(trace, index=idx),
+            "",
+            communication_matrix(trace, index=idx).as_text(),
+        ]
+        fn = function_profile_text(trace, index=idx)
         if "no function records" not in fn:
             parts += ["", fn]
         return "\n".join(parts)
@@ -245,15 +252,20 @@ class CommandInterpreter:
         from repro.analysis import critical_path
 
         limit = int(args[0]) if args else 12
-        return critical_path(self.session.trace()).as_text(limit=limit)
+        idx = self.session.index()
+        return critical_path(idx.trace, index=idx).as_text(limit=limit)
 
     def _cmd_races(self, args: list[str]) -> str:
         from repro.analysis import detect_races
 
-        races = detect_races(self.session.trace())
+        idx = self.session.index()
+        races = detect_races(idx.trace, index=idx)
         if not races:
             return "no message races detected"
         return "\n".join(r.describe() for r in races)
+
+    def _cmd_stats(self, args: list[str]) -> str:
+        return self.session.index().stats().as_text()
 
     def _cmd_save_trace(self, args: list[str]) -> str:
         if len(args) != 1:

@@ -26,7 +26,7 @@ session) in charge from the stop onward.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.instrument.uinst import Uinst

@@ -23,9 +23,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.analysis.deadlock import DeadlockReport, analyze_deadlock
+from repro.analysis.history import HistoryIndex
 from repro.analysis.matching import MatchingReport, analyze_matching
 from repro.mp.clock import CostModel
-from repro.mp.process import ProcState, StopReason
+from repro.mp.process import ProcState
 from repro.mp.record import CommLog
 from repro.mp.runtime import ProgramSpec
 from repro.mp.scheduler import RunOutcome, RunReport
@@ -109,6 +110,9 @@ class DebugSession:
         self._execution: ReplayExecution = build_execution(self.spec)
         self.breakpoints = BreakpointManager(self.runtime)
         self._last_report: Optional[RunReport] = None
+        #: this generation's shared analysis substrate (lazily attached
+        #: to the live stream; invalidated and rebuilt across replays)
+        self._index: Optional[HistoryIndex] = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -124,6 +128,28 @@ class DebugSession:
     def trace(self) -> Trace:
         """A consistent snapshot of the history collected so far."""
         return self._execution.recorder.snapshot()
+
+    def index(self) -> HistoryIndex:
+        """The shared analysis substrate for the current generation.
+
+        Built on first demand: an :class:`~repro.analysis.history.IndexSink`
+        is attached to the live trace stream (with backfill), so the
+        index tracks the execution incrementally from then on.  All
+        session analyses (stoplines, matching/deadlock reports, the
+        ``stats`` command) consume this one index; vector clocks and
+        matching are derived exactly once per generation.  After
+        :meth:`replay`/:meth:`undo` the old index is invalidated and a
+        fresh one is bound to the new execution on next demand.
+        """
+        if self._index is None or self._index.stale:
+            self._index = HistoryIndex(
+                nprocs=self.nprocs, generation=self.generation
+            )
+            self._execution.recorder.subscribe(self._index.sink(), backfill=True)
+        # refresh the §4.4 blocked-wait snapshot for missed-message and
+        # deadlock diagnoses
+        self._index.set_blocked(self.runtime.blocked_waits())
+        return self._index
 
     @property
     def recorder(self):
@@ -328,7 +354,10 @@ class DebugSession:
     ) -> Stopline:
         """Compute and remember a stopline from a trace event (the
         user's click in the time-space display)."""
-        self.current_stopline = compute_stopline(self.trace(), event_index, placement)
+        idx = self.index()
+        self.current_stopline = compute_stopline(
+            idx.trace, event_index, placement, index=idx
+        )
         return self.current_stopline
 
     # ------------------------------------------------------------------
@@ -367,6 +396,11 @@ class DebugSession:
         # recorder is discarded below, and an attached file would
         # otherwise be dropped with its tail unflushed and no index.
         self._execution.recorder.close()
+        # The outgoing generation's history no longer describes any
+        # execution: refuse every future query against it.
+        if self._index is not None:
+            self._index.invalidate()
+            self._index = None
         self.generation += 1
         # Re-attach user subscriptions before the replay runs, so the
         # sinks observe the re-execution's records live.
@@ -411,11 +445,14 @@ class DebugSession:
     # history analysis (§4.4)
     # ------------------------------------------------------------------
     def matching_report(self) -> MatchingReport:
-        return analyze_matching(self.trace(), blocked=self.runtime.blocked_waits())
+        idx = self.index()
+        return analyze_matching(
+            idx.trace, blocked=self.runtime.blocked_waits(), index=idx
+        )
 
     def deadlock_report(self) -> DeadlockReport:
         return analyze_deadlock(
-            self.runtime.blocked_waits(), self.nprocs, trace=self.trace()
+            self.runtime.blocked_waits(), self.nprocs, index=self.index()
         )
 
     # ------------------------------------------------------------------

@@ -29,13 +29,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.causality import CausalOrder
 from repro.analysis.frontiers import analyze_frontiers
 from repro.trace.events import TraceRecord
 from repro.trace.markers import MarkerVector
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.history import HistoryIndex
 
 
 class StoplinePlacement(enum.Enum):
@@ -101,14 +104,20 @@ def compute_stopline(
     event_index: int,
     placement: StoplinePlacement = StoplinePlacement.VERTICAL,
     order: Optional[CausalOrder] = None,
+    index: "Optional[HistoryIndex]" = None,
 ) -> Stopline:
     """Stopline for a selected event (the user's click).
 
     ``vertical`` slices at the event's start time; the selected process
     is pinned to stop exactly at the selected construct.  ``past`` /
     ``future`` use the frontier thresholds of
-    :class:`~repro.analysis.frontiers.FrontierAnalysis`.
+    :class:`~repro.analysis.frontiers.FrontierAnalysis`, with the causal
+    order drawn from the shared HistoryIndex.
     """
+    from repro.analysis.history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     anchor = trace[event_index]
     if placement is StoplinePlacement.VERTICAL:
         sl = vertical_stopline_at_time(trace, anchor.t0)
@@ -120,7 +129,7 @@ def compute_stopline(
             anchor=anchor,
             thresholds=MarkerVector(merged),
         )
-    analysis = analyze_frontiers(trace, event_index, order)
+    analysis = analyze_frontiers(trace, event_index, order, index=idx)
     if placement is StoplinePlacement.PAST_FRONTIER:
         thresholds = analysis.past_stopline()
     else:
@@ -133,21 +142,29 @@ def compute_stopline(
     )
 
 
-def verify_stopline_consistency(trace: Trace, stopline: Stopline) -> bool:
+def verify_stopline_consistency(
+    trace: Trace,
+    stopline: Stopline,
+    index: "Optional[HistoryIndex]" = None,
+) -> bool:
     """Check the §4.1 consistency argument on the achieved cut.
 
     The cut "everything with marker < threshold per process" must not
     contain a receive whose send lies outside -- no message into the cut
     from beyond the stopline.
     """
+    from repro.analysis.history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     thresholds = stopline.thresholds
     included: set[int] = set()
     for p in range(trace.nprocs):
         limit = thresholds.get(p)
-        for rec in trace.by_proc(p):
+        for rec in idx.by_proc(p):
             if limit is None or rec.marker < limit:
                 included.add(rec.index)
-    for pair in trace.message_pairs():
+    for pair in idx.message_pairs():
         if pair.recv.index in included and pair.send.index not in included:
             return False
     return True

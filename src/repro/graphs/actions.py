@@ -19,11 +19,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.trace.events import EventKind
 from repro.trace.trace import Trace
 
 from .tracegraph import ROOT_FUNCTION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.history import HistoryIndex
 
 
 class ActionKind(enum.Enum):
@@ -93,8 +97,15 @@ class ActionGraph:
         return "\n".join(lines)
 
 
-def build_action_graph(trace: Trace, proc: int) -> ActionGraph:
+def build_action_graph(
+    trace: Trace,
+    proc: int,
+    index: "Optional[HistoryIndex]" = None,
+) -> ActionGraph:
     """Classify each function activation's direct children into actions."""
+    from repro.analysis.history import ensure_index
+
+    idx = ensure_index(trace, index=index)
     graph = ActionGraph(proc)
     # Frame stack: (function name, list of (category, detail, record)).
     stack: list[tuple[str, list[tuple[ActionKind, str, object]]]] = [
@@ -105,7 +116,7 @@ def build_action_graph(trace: Trace, proc: int) -> ActionGraph:
         fn, raw = stack.pop()
         graph.activations.setdefault(fn, []).append(_fold_runs(raw))
 
-    for rec in trace.by_proc(proc):
+    for rec in idx.by_proc(proc):
         cat = _category(rec.kind)
         if rec.kind is EventKind.FUNC_ENTRY:
             stack[-1][1].append((ActionKind.CALL, rec.location.function, rec))

@@ -18,9 +18,12 @@ to message events.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.trace.trace import MessagePair, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.history import HistoryIndex
 
 
 @dataclass
@@ -87,18 +90,26 @@ class CommGraph:
         return "\n".join(lines)
 
 
-def build_comm_graph(trace: Trace) -> CommGraph:
+def build_comm_graph(
+    trace: Trace,
+    index: "Optional[HistoryIndex]" = None,
+) -> CommGraph:
     """Build the communication graph from a trace.
 
     For each process, its message events (sends and receives) are taken
     in program order; consecutive events' nodes are linked, giving the
     per-process causality chains that Figure 4's arcs draw, plus the
-    implicit send->recv causality already inside each node.
+    implicit send->recv causality already inside each node.  Matching
+    comes from the shared :class:`~repro.analysis.history.HistoryIndex`.
     """
+    from repro.analysis.history import ensure_index
+
+    idx = ensure_index(trace, index=index)
+    trace = idx.trace
     graph = CommGraph()
-    pairs = trace.message_pairs()
-    graph.unmatched_sends = trace.unmatched_sends()
-    graph.unmatched_recvs = trace.unmatched_recvs()
+    pairs = idx.message_pairs()
+    graph.unmatched_sends = idx.unmatched_sends()
+    graph.unmatched_recvs = idx.unmatched_recvs()
 
     # One node per matched pair; index events -> node id.
     event_node: dict[int, int] = {}
@@ -111,7 +122,7 @@ def build_comm_graph(trace: Trace) -> CommGraph:
     seen_arcs: set[tuple[int, int]] = set()
     for p in range(trace.nprocs):
         prev: Optional[int] = None
-        for rec in trace.by_proc(p):
+        for rec in idx.by_proc(p):
             node_id = event_node.get(rec.index)
             if node_id is None:
                 continue

@@ -22,7 +22,7 @@ the trace graph follow causality ("The arcs describe causality").
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.trace.events import EventKind, TraceRecord
@@ -262,6 +262,13 @@ class TraceGraph:
             graph.add_record(rec)
         return graph
 
+    @classmethod
+    def from_index(cls, index, arc_limit: Optional[int] = 64) -> "TraceGraph":
+        """Build from a :class:`~repro.analysis.history.HistoryIndex` --
+        the graph reads the already-indexed records and the index serves
+        as the zoom-rescan source for :meth:`reconstruct_arc`."""
+        return cls.from_records(index.records, index.nprocs, arc_limit)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -310,10 +317,12 @@ class TraceGraph:
         """Recover the original events a merged arc stands for by
         rescanning the covered portion of the trace.
 
-        ``trace`` may be an in-memory :class:`Trace` or an (indexed)
-        ``TraceFileReader`` -- with the latter, only the byte ranges
-        covering the arc's time window are read ("rescanning the
-        appropriate portion of the trace file", §4.3).
+        ``trace`` may be an in-memory :class:`Trace`, a
+        :class:`~repro.analysis.history.HistoryIndex` (both answer
+        ``window``), or an (indexed) ``TraceFileReader`` -- with the
+        latter, only the byte ranges covering the arc's time window are
+        read ("rescanning the appropriate portion of the trace file",
+        §4.3).
         """
         if hasattr(trace, "seek_window"):
             window = trace.seek_window(arc.t0, arc.t1)

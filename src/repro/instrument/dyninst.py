@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import functools
 import types
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.mp.datatypes import SourceLocation

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-from .datatypes import ANY_SOURCE, ANY_TAG, SourceLocation
+from .datatypes import SourceLocation
 from .envelopeutil import envelope_key_str  # noqa: F401  (re-export for tools)
 from .errors import MPIError
 from .message import Envelope, Message

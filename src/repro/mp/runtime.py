@@ -16,7 +16,6 @@ debugger (:mod:`repro.debugger`) drives:
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict
 from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
 from .channel import Mailbox, PendingRecv, iter_unmatched_sends

@@ -48,6 +48,10 @@ class Trace:
         self._pairs: Optional[list[MessagePair]] = None
         self._unmatched_sends: Optional[list[TraceRecord]] = None
         self._unmatched_recvs: Optional[list[TraceRecord]] = None
+        self._span: Optional[tuple[float, float]] = None
+        #: shared analysis substrate memoized on this trace (see
+        #: :mod:`repro.analysis.history`); populated on first demand
+        self._history_index = None
 
     # ------------------------------------------------------------------
     # basics
@@ -80,18 +84,49 @@ class Trace:
 
     @property
     def span(self) -> tuple[float, float]:
-        """(earliest t0, latest t1) over the whole trace; (0, 0) if empty."""
-        if not self._records:
-            return (0.0, 0.0)
-        return (
-            min(r.t0 for r in self._records),
-            max(r.t1 for r in self._records),
-        )
+        """(earliest t0, latest t1) over the whole trace; (0, 0) if empty.
+
+        Computed once: a Trace is immutable once constructed, so the two
+        full scans happen on first access only.
+        """
+        if self._span is None:
+            if not self._records:
+                return (0.0, 0.0)
+            self._span = (
+                min(r.t0 for r in self._records),
+                max(r.t1 for r in self._records),
+            )
+        return self._span
+
+    def history_index(self):
+        """The shared analysis substrate for this trace, built on first
+        demand and memoized (see :class:`repro.analysis.history.HistoryIndex`).
+
+        All analyses routed through :func:`repro.analysis.history.ensure_index`
+        on the same trace object share this one index -- vector clocks
+        and message matching are derived exactly once per history.
+        """
+        from repro.analysis.history import ensure_index
+
+        return ensure_index(self)
 
     # ------------------------------------------------------------------
     # message matching (Section 3.2: unique under non-overtaking)
     # ------------------------------------------------------------------
     def _match_messages(self) -> None:
+        # A bound history index (repro.analysis.history) already holds
+        # the matching for this exact history -- adopt it instead of
+        # re-deriving.
+        index = self._history_index
+        if (
+            index is not None
+            and not getattr(index, "stale", False)
+            and len(index) == len(self._records)
+        ):
+            self._pairs = index.message_pairs()
+            self._unmatched_sends = index.unmatched_sends()
+            self._unmatched_recvs = index.unmatched_recvs()
+            return
         sends: dict[tuple[int, int, int, int], TraceRecord] = {}
         pairs: list[MessagePair] = []
         matched_send_keys: set[tuple[int, int, int, int]] = set()

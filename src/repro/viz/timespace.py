@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.trace.events import EventKind, TraceRecord
-from repro.trace.trace import Trace, ensure_trace
+from repro.trace.trace import Trace
 
 from .layout import Viewport
 
@@ -156,6 +156,7 @@ def build_diagram(
     trace: "Trace | Iterable[TraceRecord]",
     kinds: Optional[Sequence[EventKind]] = None,
     nprocs: Optional[int] = None,
+    index=None,
 ) -> TimeSpaceDiagram:
     """Construct the display model from a trace or any record stream.
 
@@ -163,7 +164,10 @@ def build_diagram(
     come from the matched pairs).  Zero-duration records (function
     entries) are skipped as bars -- they have no extent to draw.
     """
-    trace = ensure_trace(trace, nprocs=nprocs)
+    from repro.analysis.history import ensure_index
+
+    idx = ensure_index(trace, nprocs=nprocs, index=index)
+    trace = idx.trace
     diagram = TimeSpaceDiagram(trace=trace)
     wanted = set(kinds) if kinds is not None else None
     for rec in trace:
@@ -174,7 +178,7 @@ def build_diagram(
         if rec.t1 <= rec.t0:
             continue
         diagram.bars.append(Bar(record=rec, category=_category(rec.kind)))
-    for pair in trace.message_pairs():
+    for pair in idx.message_pairs():
         diagram.messages.append(MessageLine(send=pair.send, recv=pair.recv))
     return diagram
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro import mp
 from repro.analysis import (
     analyze_frontiers,
     check_trace_causality,

@@ -12,7 +12,6 @@ from repro.debugger import (
     CommandInterpreter,
     DebugSession,
     LogBacklog,
-    StoplinePlacement,
 )
 from repro.trace import MarkerVector
 

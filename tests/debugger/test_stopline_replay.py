@@ -14,7 +14,6 @@ from repro.debugger import (
     verify_stopline_consistency,
     vertical_stopline_at_time,
 )
-from repro.trace import MarkerVector
 from tests.conftest import traced_run
 
 

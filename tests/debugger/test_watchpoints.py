@@ -3,7 +3,6 @@ watchpoints over user locals)."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro import mp
 from repro.debugger import DebugSession

@@ -8,16 +8,13 @@ import pytest
 from repro.apps import strassen as st
 from repro.graphs import (
     ActionKind,
-    ArcKind,
     ChannelNode,
-    FunctionNode,
     ROOT_FUNCTION,
     TraceGraph,
     build_action_graph,
     build_comm_graph,
     trace_graph_to_dot,
 )
-from repro.trace import EventKind
 from tests.conftest import traced_run
 
 

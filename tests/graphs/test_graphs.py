@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro import mp
 from repro.apps import fibonacci as fibmod
 from repro.apps import strassen as st
 from repro.graphs import (

@@ -8,7 +8,6 @@ from repro.apps import strassen as st
 from repro.debugger import vertical_stopline_at_time
 from repro.viz import (
     AnimatedView,
-    TimeSpaceDiagram,
     Viewport,
     build_diagram,
     render_ascii,
