@@ -109,7 +109,7 @@ def main() -> None:
         print("    " + line)
     rt = mp.Runtime(nprocs)
     rec = TraceRecorder(nprocs)
-    trace_path = OUT_DIR / "aims_trace.jsonl"
+    trace_path = OUT_DIR / "aims_trace.trace"  # v3: binary columnar
     rec.attach_file(trace_path)
     WrapperLibrary(rt, rec)
     monitor = AimsMonitor(rt, rec)
@@ -120,7 +120,7 @@ def main() -> None:
     rec.flush()  # the on-demand flush (§2.1)
     rt.shutdown()
     summarize("aims", rec.snapshot())
-    rec.close()  # finalize: writes the v2 index footer
+    rec.close()  # finalize: writes the v3 index footer
     reader = TraceFileReader(trace_path)
     reread = reader.read()
     print(

@@ -56,6 +56,8 @@ from .causality import CausalOrder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mp.process import WaitInfo
+    from repro.trace.columnar import ColumnBlock
+    from repro.trace.tracefile import TraceFileReader
 
 
 class StaleIndexError(RuntimeError):
@@ -203,6 +205,20 @@ class HistoryIndex:
             index._stats.trace_snapshots += 1
         return index
 
+    @classmethod
+    def from_file(
+        cls, reader: "TraceFileReader", generation: int = 0
+    ) -> "HistoryIndex":
+        """Index a trace file through the bulk columnar path.
+
+        Uses :meth:`TraceFileReader.read_columns`, so a v3 file is
+        ingested column-wise (no per-record JSON parsing); v1/v2 files
+        bridge through the record path transparently.
+        """
+        index = cls(nprocs=reader.nprocs, generation=generation)
+        index.extend_columns(reader.read_columns())
+        return index
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -255,6 +271,42 @@ class HistoryIndex:
         for rec in records:
             self.extend(rec)
             n += 1
+        return n
+
+    def extend_columns(self, block: "ColumnBlock") -> int:
+        """Bulk-ingest one decoded columnar block (the
+        :meth:`TraceFileReader.read_columns` feed).
+
+        Equivalent to ``extend_many(block.to_records())`` but updates
+        the span from the block's time columns in one vectorized step
+        and re-indexes positionally by mutating the freshly
+        materialized records in place instead of copying each one.
+        """
+        self._check_live()
+        n = len(block)
+        if n == 0:
+            return 0
+        records = block.to_records()
+        pos = len(self._records)
+        rows = self._rows
+        marker_first = self._marker_first
+        nprocs = self.nprocs
+        for rec in records:
+            if rec.index != pos:
+                rec.index = pos  # to_records() objects are ours to mutate
+            pos += 1
+            p = rec.proc
+            if 0 <= p < nprocs:
+                rows[p].append(rec)
+                marker_first.setdefault((p, rec.marker), rec)
+        self._records.extend(records)
+        t_lo = float(block.columns["t0"].min())
+        t_hi = float(block.columns["t1"].max())
+        if self._t_lo is None or t_lo < self._t_lo:
+            self._t_lo = t_lo
+        if self._t_hi is None or t_hi > self._t_hi:
+            self._t_hi = t_hi
+        self._stats.records = len(self._records)
         return n
 
     def __len__(self) -> int:

@@ -25,11 +25,21 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
-from repro.trace.events import EventKind, TraceRecord
+import numpy as np
+
+from repro.trace.events import RECV_KINDS, SEND_KINDS, EventKind, TraceRecord
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.columnar import ColumnBlock
     from repro.trace.sinks import TraceSink
+    from repro.trace.tracefile import TraceFileReader
+
+#: kinds that change the graph topology; everything else is skipped
+#: before materialization on the columnar ingest path
+_TOPOLOGY_KINDS = frozenset(
+    {EventKind.FUNC_ENTRY, EventKind.FUNC_EXIT} | SEND_KINDS | RECV_KINDS
+)
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +193,30 @@ class TraceGraph:
         # other kinds (compute, collectives wrappers, lifecycle) do not
         # change the graph topology
 
+    def add_columns(self, block: "ColumnBlock") -> int:
+        """Fold one decoded columnar block into the graph.
+
+        The kind column is pre-filtered with a numpy mask so only
+        topology-relevant records (function entries/exits, sends,
+        receives) are materialized at all -- on typical traces that
+        skips the compute/lifecycle majority without touching Python.
+        Returns how many records were folded in.
+        """
+        if not len(block):
+            return 0
+        codes = [
+            code
+            for code, kind in enumerate(block.kind_table)
+            if kind in _TOPOLOGY_KINDS
+        ]
+        mask = np.isin(block.columns["kind"], codes)
+        if not mask.any():
+            return 0
+        relevant = block if mask.all() else block.filter(mask)
+        for rec in relevant.to_records():
+            self.add_record(rec)
+        return len(relevant)
+
     def _current_function(self, proc: int) -> FunctionNode:
         return self._call_stacks[proc][-1]
 
@@ -261,6 +295,28 @@ class TraceGraph:
         for rec in records:
             graph.add_record(rec)
         return graph
+
+    @classmethod
+    def from_columns(
+        cls,
+        block: "ColumnBlock",
+        nprocs: int,
+        arc_limit: Optional[int] = 64,
+    ) -> "TraceGraph":
+        """Build from a decoded columnar block (the
+        :meth:`TraceFileReader.read_columns` feed)."""
+        graph = cls(nprocs, arc_limit)
+        graph.add_columns(block)
+        return graph
+
+    @classmethod
+    def from_file(
+        cls, reader: "TraceFileReader", arc_limit: Optional[int] = 64
+    ) -> "TraceGraph":
+        """Build from a trace file through the bulk columnar path: v3
+        files decode column-wise and irrelevant kinds are masked out
+        before any record object exists; v1/v2 bridge transparently."""
+        return cls.from_columns(reader.read_columns(), reader.nprocs, arc_limit)
 
     @classmethod
     def from_index(cls, index, arc_limit: Optional[int] = 64) -> "TraceGraph":

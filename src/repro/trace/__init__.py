@@ -3,7 +3,8 @@
 Trace records (:mod:`~repro.trace.events`), execution markers
 (:mod:`~repro.trace.markers`), the queryable :class:`Trace` container,
 the persistent indexed trace-file format with on-demand flushing
-(:mod:`~repro.trace.tracefile`), the streaming event bus with pluggable
+(:mod:`~repro.trace.tracefile`) and its binary columnar block codec
+(:mod:`~repro.trace.columnar`), the streaming event bus with pluggable
 sinks (:mod:`~repro.trace.sinks`), and the recorder that filters and
 publishes what instrumentation layers write
 (:mod:`~repro.trace.recorder`).
@@ -36,8 +37,10 @@ from .sinks import (
     TraceSink,
     pump,
 )
+from .columnar import ColumnBlock, ColumnDecodeError
 from .trace import MessagePair, Trace, ensure_trace, merge_traces
 from .tracefile import (
+    FORMAT_VERSION,
     TraceFileError,
     TraceFileReader,
     TraceFileWriter,
@@ -49,6 +52,9 @@ from .tracefile import (
 __all__ = [
     "COLLECTIVE_KINDS",
     "CallbackSink",
+    "ColumnBlock",
+    "ColumnDecodeError",
+    "FORMAT_VERSION",
     "Divergence",
     "FileSink",
     "GraphSink",

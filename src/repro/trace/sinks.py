@@ -189,6 +189,8 @@ class FileSink(TraceSink):
 
     Accepts either an existing :class:`TraceFileWriter` (borrowed: the
     caller owns closing unless ``own=True``) or a path to create one.
+    ``version`` selects the on-disk format when a writer is created
+    (None = the current default, binary columnar v3).
     """
 
     def __init__(
@@ -198,14 +200,19 @@ class FileSink(TraceSink):
         auto_flush_every: Optional[int] = None,
         durable: bool = False,
         own: bool = True,
+        version: Optional[int] = None,
     ) -> None:
-        from .tracefile import TraceFileWriter
+        from .tracefile import FORMAT_VERSION, TraceFileWriter
 
         if isinstance(writer_or_path, (str, Path)):
             if nprocs is None:
                 raise ValueError("nprocs is required when creating a writer")
             self.writer = TraceFileWriter(
-                writer_or_path, nprocs, auto_flush_every, durable=durable
+                writer_or_path,
+                nprocs,
+                auto_flush_every,
+                durable=durable,
+                version=FORMAT_VERSION if version is None else version,
             )
         else:
             self.writer = writer_or_path  # type: ignore[assignment]

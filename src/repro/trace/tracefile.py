@@ -1,51 +1,87 @@
-"""Trace files: persistent, line-oriented execution histories.
+"""Trace files: persistent execution histories (JSON-lines and binary).
 
 The AIMS toolkit wrote binary trace files for post-mortem analysis; the
 paper had to add "a monitor function that flushes trace information on
 demand" so p2d2 could read history *during* execution (Section 2.1).
 This module reproduces that shape:
 
-* :class:`TraceFileWriter` appends JSON-lines records with explicit
+* :class:`TraceFileWriter` appends trace records with explicit
   :meth:`flush` (the on-demand flush) and an optional auto-flush
   threshold;
-* :class:`TraceFileReader` reads whole files, streams records, or
-  seeks straight to a time window / process subset without scanning
-  everything -- the access pattern the trace-graph zoom reconstruction
-  (Section 4.3 "rescanning the appropriate portion of the trace file")
-  and the VK animated window need.
+* :class:`TraceFileReader` reads whole files, streams records, loads
+  whole columns, or seeks straight to a time window / process subset
+  without scanning everything -- the access pattern the trace-graph
+  zoom reconstruction (Section 4.3 "rescanning the appropriate portion
+  of the trace file") and the VK animated window need.
 
 Format v1: a header line ``{"format": ..., "version": 1, "nprocs": ...}``
-followed by one record per line (see ``TraceRecord.to_jsonable``).
+followed by one JSON record per line (see ``TraceRecord.to_jsonable``).
 
 Format v2 adds an *index footer* as the final line when the writer is
 closed cleanly: ``{"__trace_index__": {"blocks": [...], ...}}``.  Each
 block entry is ``[offset, nbytes, count, t_min, t_max, procs]``
 describing a contiguous byte range of record lines, so
 :meth:`TraceFileReader.seek_window` reads only the blocks overlapping
-the requested window instead of the whole file.  A v2 file whose footer
-is missing (writer crashed before close) and any v1 file degrade to the
-linear path unchanged.
+the requested window instead of the whole file.
+
+Format v3 (current) keeps the JSON header line and the JSON index
+footer but stores the records themselves as binary *columnar* blocks
+(see :mod:`repro.trace.columnar`): fixed-width little-endian columns
+decoded as zero-copy numpy views of an ``mmap``, plus one interned JSON
+side table per block for variable-length payloads.  The footer's block
+entries grow a seventh element recording the segment encoding
+(``"columnar"``); v2 footers are unchanged byte-for-byte.  On top of
+the columnar decode the reader offers :meth:`TraceFileReader.read_columns`
+(bulk column ingest for ``HistoryIndex``/graph/viz consumers) and a
+parallel block loader (``concurrent.futures`` over index-selected
+blocks with an ordered merge) engaged automatically by
+:meth:`~TraceFileReader.read_all` and
+:meth:`~TraceFileReader.seek_window` when enough blocks are selected.
+
+Compatibility: v1 files, v2 files, and *footerless* files of either
+(writer crashed before close) keep working through the linear path; v3
+files are self-delimiting, so a footerless v3 file is walked block by
+block.  ``python -m repro.trace.tracefile`` offers ``info``,
+``convert`` (v1/v2 <-> v3) and ``reindex`` (rebuild a missing footer
+in place, recovering crashed-writer files from the slow path).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import math
+import mmap
 import os
+import sys
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, Optional, Union
+from typing import Callable, Iterator, Optional, Sequence, Union
 
-from .events import TraceRecord
+from .columnar import (
+    ColumnBlock,
+    ColumnDecodeError,
+    decode_block,
+    encode_block,
+    kind_table_from_values,
+)
+from .events import EventKind, TraceRecord
 from .trace import Trace
 
 FORMAT_NAME = "repro-trace"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: versions this reader understands
-SUPPORTED_VERSIONS = frozenset({1, 2})
-#: key marking the v2 index footer line
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
+#: key marking the index footer line (v2 and v3)
 INDEX_KEY = "__trace_index__"
-#: records per index block (granularity of seek_window byte ranges)
+#: records per index block (granularity of seek_window byte ranges; in
+#: v3 also the records-per-columnar-block encoding granularity)
 DEFAULT_INDEX_BLOCK = 512
+#: minimum index-selected blocks before the parallel loader engages
+PARALLEL_BLOCK_THRESHOLD = 4
+#: cap on parallel decode workers
+MAX_PARALLEL_WORKERS = 8
 
 
 class TraceFileError(Exception):
@@ -54,7 +90,11 @@ class TraceFileError(Exception):
 
 @dataclass(frozen=True)
 class IndexBlock:
-    """One contiguous run of record lines summarized in the footer."""
+    """One contiguous run of records summarized in the footer.
+
+    ``encoding`` records how the byte range is encoded: ``"jsonl"``
+    (v1/v2 record lines) or ``"columnar"`` (a v3 binary block).
+    """
 
     offset: int
     nbytes: int
@@ -62,16 +102,21 @@ class IndexBlock:
     t_min: float
     t_max: float
     procs: frozenset[int]
+    encoding: str = "jsonl"
 
     def overlaps(
         self, t_lo: float, t_hi: float, procs: Optional[set[int]]
     ) -> bool:
+        if t_lo > t_hi:
+            return False  # empty window overlaps nothing
+        if procs is not None and not procs:
+            return False  # empty proc filter selects nothing
         if self.t_max < t_lo or self.t_min > t_hi:
             return False
         return procs is None or bool(self.procs & procs)
 
     def to_jsonable(self) -> list:
-        return [
+        out = [
             self.offset,
             self.nbytes,
             self.count,
@@ -79,16 +124,20 @@ class IndexBlock:
             self.t_max,
             sorted(self.procs),
         ]
+        if self.encoding != "jsonl":
+            out.append(self.encoding)
+        return out
 
     @classmethod
     def from_jsonable(cls, data: list) -> "IndexBlock":
-        off, nbytes, count, t_min, t_max, procs = data
-        return cls(off, nbytes, count, t_min, t_max, frozenset(procs))
+        off, nbytes, count, t_min, t_max, procs, *rest = data
+        encoding = rest[0] if rest else "jsonl"
+        return cls(off, nbytes, count, t_min, t_max, frozenset(procs), encoding)
 
 
 @dataclass(frozen=True)
 class TraceIndex:
-    """The v2 footer: per-block byte offsets + whole-file aggregates."""
+    """The footer: per-block byte offsets + whole-file aggregates."""
 
     blocks: tuple[IndexBlock, ...]
     records: int
@@ -125,11 +174,17 @@ class TraceFileWriter:
     """Appends trace records to a file, flushing on demand.
 
     The writer holds one persistent append handle for its lifetime (no
-    per-flush reopen); :meth:`flush` pushes buffered lines through the
+    per-flush reopen); :meth:`flush` pushes buffered records through the
     OS so a concurrent reader sees them.  ``durable=True`` additionally
     ``fsync``\\ s on every flush -- crash-durability at a heavy cost, off
     by default since the on-demand-flush semantics only require reader
     visibility.
+
+    For v3 (the default) records are buffered as objects and encoded
+    into columnar blocks of up to ``index_block`` records at each
+    flush; each flushed block becomes one index-footer entry.  For
+    v1/v2 each record is encoded to a JSON line at :meth:`write` time,
+    exactly as before.
 
     Parameters
     ----------
@@ -143,10 +198,11 @@ class TraceFileWriter:
     durable:
         fsync on every flush (opt-in).
     version:
-        On-disk format version; 2 (default) writes the index footer at
-        close, 1 reproduces the legacy footer-less layout.
+        On-disk format version; 3 (default) writes binary columnar
+        blocks, 2 writes indexed JSON-lines, 1 reproduces the legacy
+        footer-less layout.
     index_block:
-        Records per index block (v2 only).
+        Records per index block (v2/v3).
     """
 
     def __init__(
@@ -169,17 +225,32 @@ class TraceFileWriter:
         self.durable = durable
         self.version = version
         self.index_block = index_block
-        #: buffered (line, t0, t1, proc) tuples awaiting the next flush
+        #: v1/v2: buffered (line, t0, t1, proc) tuples awaiting flush
         self._buffer: list[tuple[str, float, float, int]] = []
-        #: per-record (offset, nbytes, t0, t1, proc) for the index footer
+        #: v3: buffered records awaiting block encoding at flush
+        self._record_buffer: list[TraceRecord] = []
+        #: v1/v2: per-record (offset, nbytes, t0, t1, proc) for the footer
         self._meta: list[tuple[int, int, float, float, int]] = []
+        #: v3: per-block footer entries, built as blocks are flushed
+        self._blocks: list[IndexBlock] = []
         self._written = 0
         self._closed = False
-        self._fh = self.path.open("w")
-        header = json.dumps(
-            {"format": FORMAT_NAME, "version": version, "nprocs": nprocs}
-        )
-        self._fh.write(header + "\n")
+        self._binary = version >= 3
+        self._fh = self.path.open("wb" if self._binary else "w")
+        header_obj: dict = {
+            "format": FORMAT_NAME,
+            "version": version,
+            "nprocs": nprocs,
+        }
+        if version >= 3:
+            # the file's own kind table: block kind codes index into it,
+            # so files survive future EventKind reordering
+            header_obj["kinds"] = [k.value for k in EventKind]
+        header = json.dumps(header_obj)
+        if self._binary:
+            self._fh.write(header.encode("ascii") + b"\n")
+        else:
+            self._fh.write(header + "\n")
         self._fh.flush()
         self._offset = self._fh.tell()
 
@@ -188,17 +259,22 @@ class TraceFileWriter:
         """Buffer one record (written at the next flush)."""
         if self._closed:
             raise TraceFileError(f"writer for {self.path} is closed")
-        self._buffer.append(
-            (
-                json.dumps(record.to_jsonable()),
-                record.t0,
-                record.t1,
-                record.proc,
+        if self.version >= 3:
+            self._record_buffer.append(record)
+            pending = len(self._record_buffer)
+        else:
+            self._buffer.append(
+                (
+                    json.dumps(record.to_jsonable()),
+                    record.t0,
+                    record.t1,
+                    record.proc,
+                )
             )
-        )
+            pending = len(self._buffer)
         if (
             self.auto_flush_every is not None
-            and len(self._buffer) >= self.auto_flush_every
+            and pending >= self.auto_flush_every
         ):
             self.flush()
 
@@ -209,6 +285,8 @@ class TraceFileWriter:
         added to the AIMS monitor so the debugger could consume history
         mid-execution.
         """
+        if self.version >= 3:
+            return self._flush_v3()
         if not self._buffer:
             return 0
         for line, t0, t1, proc in self._buffer:
@@ -223,14 +301,59 @@ class TraceFileWriter:
         self._buffer.clear()
         return n
 
+    def _flush_v3(self) -> int:
+        """Encode buffered records into columnar blocks and write them.
+
+        Each flush emits whole blocks of up to ``index_block`` records,
+        so a concurrent reader always sees complete, decodable blocks.
+        On an encoding error mid-flush the already-written chunks stay
+        accounted (and indexed); unwritten records stay buffered.
+        """
+        buf = self._record_buffer
+        if not buf:
+            return 0
+        flushed = 0
+        try:
+            for start in range(0, len(buf), self.index_block):
+                chunk = buf[start : start + self.index_block]
+                data = encode_block(chunk)
+                offset = self._offset
+                self._fh.write(data)
+                self._offset += len(data)
+                self._blocks.append(
+                    IndexBlock(
+                        offset=offset,
+                        nbytes=len(data),
+                        count=len(chunk),
+                        t_min=min(r.t0 for r in chunk),
+                        t_max=max(r.t1 for r in chunk),
+                        procs=frozenset(r.proc for r in chunk),
+                        encoding="columnar",
+                    )
+                )
+                flushed += len(chunk)
+        finally:
+            if flushed:
+                del buf[:flushed]
+                self._written += flushed
+            self._fh.flush()
+            if self.durable:
+                os.fsync(self._fh.fileno())
+        return flushed
+
     # ------------------------------------------------------------------
     def _build_index(self) -> TraceIndex:
-        blocks: list[IndexBlock] = []
+        if self.version >= 3:
+            blocks = tuple(self._blocks)
+            t_min = min((b.t_min for b in blocks), default=0.0)
+            t_max = max((b.t_max for b in blocks), default=0.0)
+            return TraceIndex(blocks, self._written, t_min, t_max)
+        blocks_v2: list[IndexBlock] = []
         for start in range(0, len(self._meta), self.index_block):
             chunk = self._meta[start : start + self.index_block]
             offset = chunk[0][0]
             nbytes = sum(m[1] for m in chunk)
-            blocks.append(
+            blocks_v2.append(
                 IndexBlock(
                     offset=offset,
                     nbytes=nbytes,
@@ -242,19 +365,36 @@ class TraceFileWriter:
             )
         t_min = min((m[2] for m in self._meta), default=0.0)
         t_max = max((m[3] for m in self._meta), default=0.0)
-        return TraceIndex(tuple(blocks), len(self._meta), t_min, t_max)
+        return TraceIndex(tuple(blocks_v2), len(self._meta), t_min, t_max)
+
+    def _write_footer(self) -> None:
+        payload = json.dumps(self._build_index().to_jsonable())
+        if self._binary:
+            # the leading newline separates the footer line from the
+            # final binary block, whatever bytes it ends with
+            self._fh.write(b"\n" + payload.encode("ascii") + b"\n")
+        else:
+            self._fh.write(payload + "\n")
+        self._fh.flush()
+        if self.durable:
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
+        """Flush and finalize.  The index footer is written even when
+        the final flush fails (it then covers the records actually on
+        disk), so a file closed through an exception -- e.g. a ``with``
+        body that raised -- never loses its index."""
         if self._closed:
             return
-        self.flush()
-        if self.version >= 2:
-            self._fh.write(json.dumps(self._build_index().to_jsonable()) + "\n")
-            self._fh.flush()
-            if self.durable:
-                os.fsync(self._fh.fileno())
-        self._fh.close()
-        self._closed = True
+        try:
+            self.flush()
+        finally:
+            try:
+                if self.version >= 2:
+                    self._write_footer()
+            finally:
+                self._fh.close()
+                self._closed = True
 
     @property
     def records_written(self) -> int:
@@ -273,31 +413,33 @@ class TraceFileReader:
     Attributes
     ----------
     skipped_lines:
-        Malformed lines skipped by tolerant reads, *cumulative* across
-        every read this reader performed (a rising count across polls of
-        a live file means flushes are getting truncated).
+        Malformed lines (v1/v2) or damaged/truncated block regions (v3)
+        skipped by tolerant reads, *cumulative* across every read this
+        reader performed (a rising count across polls of a live file
+        means flushes are getting truncated).
     last_skipped_lines:
-        Malformed lines skipped by the most recent read only.
+        Damage skipped by the most recent read only.
     bytes_read:
         Record bytes this reader pulled off disk, cumulative -- the
         observable that indexed seeks beat linear scans.
     index:
-        The v2 footer index, or None (v1 file, or v2 not closed cleanly)
-        -- in which case every access uses the linear path.
+        The footer index, or None (v1 file, or v2/v3 not closed
+        cleanly) -- in which case every access uses the linear path.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
-        with self.path.open() as fh:
+        with self.path.open("rb") as fh:
             header_line = fh.readline()
             self._data_offset = fh.tell()
         try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as exc:
+            header = json.loads(header_line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise TraceFileError(f"{self.path}: bad header: {exc}") from exc
-        if header.get("format") != FORMAT_NAME:
+        if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+            got = header.get("format") if isinstance(header, dict) else header
             raise TraceFileError(
-                f"{self.path}: not a {FORMAT_NAME} file (got {header.get('format')!r})"
+                f"{self.path}: not a {FORMAT_NAME} file (got {got!r})"
             )
         if header.get("version") not in SUPPORTED_VERSIONS:
             raise TraceFileError(
@@ -305,6 +447,7 @@ class TraceFileReader:
             )
         self.version: int = header["version"]
         self.nprocs: int = header["nprocs"]
+        self._kind_table = kind_table_from_values(header.get("kinds"))
         self.skipped_lines = 0
         self.last_skipped_lines = 0
         self.bytes_read = 0
@@ -368,6 +511,104 @@ class TraceFileReader:
         return (t_min, t_max)
 
     # ------------------------------------------------------------------
+    # v3 block access
+    # ------------------------------------------------------------------
+    def _map(self) -> Union[bytes, mmap.mmap]:
+        """A read-only mapping of the whole file.
+
+        Never explicitly closed: decoded columns are zero-copy views of
+        the mapping, which is released by refcounting once the last
+        view (or block) is dropped.
+        """
+        with self.path.open("rb") as fh:
+            if os.fstat(fh.fileno()).st_size == 0:
+                return b""
+            return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+
+    def _damage(self, tolerant: bool, why: str) -> None:
+        if not tolerant:
+            raise TraceFileError(f"{self.path}: malformed record data: {why}")
+        self.skipped_lines += 1
+        self.last_skipped_lines += 1
+
+    def _iter_v3_blocks(
+        self, tolerant: bool
+    ) -> Iterator[tuple[int, int, ColumnBlock]]:
+        """Walk the file's columnar blocks linearly, yielding
+        ``(offset, nbytes, block)``.  The footer line is skipped; any
+        other undecodable region stops the walk (counted as damage when
+        tolerant, raised otherwise) -- the crashed-writer / torn-flush
+        path."""
+        buf = self._map()
+        size = len(buf)
+        offset = self._data_offset
+        footer_prefix = b'{"' + INDEX_KEY.encode()
+        while offset < size:
+            if buf[offset : offset + 1] == b"\n":
+                end = buf.find(b"\n", offset + 1)
+                stop = size if end == -1 else end
+                line = bytes(buf[offset + 1 : stop])
+                if line.lstrip().startswith(footer_prefix):
+                    # the linear walk does read these bytes; count them
+                    self.bytes_read += stop + 1 - offset
+                    offset = stop + 1
+                    continue
+                self._damage(tolerant, "unexpected text between blocks")
+                return
+            try:
+                block, nxt = decode_block(buf, offset, self._kind_table)
+            except ColumnDecodeError as exc:
+                self._damage(tolerant, str(exc))
+                return
+            self.bytes_read += nxt - offset
+            yield offset, nxt - offset, block
+            offset = nxt
+
+    def _use_parallel(self, n_blocks: int, parallel: Optional[bool]) -> bool:
+        if parallel is False or n_blocks < 2:
+            return False
+        if parallel is True:
+            return True
+        return (
+            n_blocks >= PARALLEL_BLOCK_THRESHOLD
+            and (os.cpu_count() or 1) > 1
+        )
+
+    def _decode_index_blocks(
+        self,
+        entries: Sequence[IndexBlock],
+        parallel: Optional[bool] = None,
+    ) -> list[ColumnBlock]:
+        """Decode footer-selected blocks, in file order.
+
+        With enough blocks the decode fans out over a thread pool (the
+        parallel block loader); ``executor.map`` preserves submission
+        order, so the merge is simply the ordered result list.
+        """
+        if not entries:
+            return []
+        buf = self._map()
+        kind_table = self._kind_table
+        self.bytes_read += sum(b.nbytes for b in entries)
+
+        def job(entry: IndexBlock) -> ColumnBlock:
+            try:
+                return decode_block(buf, entry.offset, kind_table)[0]
+            except ColumnDecodeError as exc:
+                raise TraceFileError(
+                    f"{self.path}: malformed record data in indexed block "
+                    f"at offset {entry.offset}: {exc}"
+                ) from exc
+
+        if self._use_parallel(len(entries), parallel):
+            workers = min(
+                MAX_PARALLEL_WORKERS, os.cpu_count() or 1, len(entries)
+            )
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(job, entries))
+        return [job(e) for e in entries]
+
+    # ------------------------------------------------------------------
     # linear streaming
     # ------------------------------------------------------------------
     def _parse_line(self, line: str, tolerant: bool) -> Optional[TraceRecord]:
@@ -402,14 +643,20 @@ class TraceFileReader:
     ) -> Iterator[TraceRecord]:
         """Stream records, optionally filtered, without loading the file.
 
-        ``tolerant`` skips malformed lines instead of raising -- the
-        right mode for a trace file whose final line was cut off by a
+        ``tolerant`` skips malformed lines/blocks instead of raising --
+        the right mode for a trace file whose tail was cut off by a
         crash of the traced program (the post-mortem case of §4.1 is
-        exactly when that happens).  Skipped lines accumulate in
+        exactly when that happens).  Skipped damage accumulates in
         :attr:`skipped_lines`; :attr:`last_skipped_lines` holds this
         read's count alone.
         """
         self.last_skipped_lines = 0
+        if self.version >= 3:
+            for _, _, block in self._iter_v3_blocks(tolerant):
+                for rec in block.to_records():
+                    if where is None or where(rec):
+                        yield rec
+            return
         with self.path.open() as fh:
             fh.readline()  # header
             for raw in fh:
@@ -421,9 +668,34 @@ class TraceFileReader:
                 if rec is not None and (where is None or where(rec)):
                     yield rec
 
+    def read_all(
+        self,
+        tolerant: bool = False,
+        parallel: Optional[bool] = None,
+    ) -> list[TraceRecord]:
+        """Every record in the file, as a list.
+
+        On an indexed v3 file with at least :data:`PARALLEL_BLOCK_THRESHOLD`
+        blocks the columnar blocks are decoded by the parallel loader
+        and merged in file order; footerless v3 files and v1/v2 files
+        use the linear path.  ``parallel`` forces the choice (None =
+        automatic).
+        """
+        if self.version < 3:
+            return list(self.iter_records(tolerant=tolerant))
+        self.last_skipped_lines = 0
+        out: list[TraceRecord] = []
+        if self.index is not None:
+            for block in self._decode_index_blocks(self.index.blocks, parallel):
+                out.extend(block.to_records())
+            return out
+        for _, _, block in self._iter_v3_blocks(tolerant):
+            out.extend(block.to_records())
+        return out
+
     def read(self, tolerant: bool = False) -> Trace:
         """Load the whole file into a :class:`Trace`."""
-        return Trace(list(self.iter_records(tolerant=tolerant)), self.nprocs)
+        return Trace(self.read_all(tolerant=tolerant), self.nprocs)
 
     def read_checked(self, tolerant: bool = True) -> tuple[Trace, int]:
         """Load the file and report damage: (trace, lines skipped by
@@ -431,6 +703,56 @@ class TraceFileReader:
         flush was torn -- poll again after the next flush."""
         trace = self.read(tolerant=tolerant)
         return trace, self.last_skipped_lines
+
+    # ------------------------------------------------------------------
+    # columnar bulk access (v3 fast path; v1/v2 bridged)
+    # ------------------------------------------------------------------
+    def read_columns(
+        self,
+        t_lo: Optional[float] = None,
+        t_hi: Optional[float] = None,
+        procs: Optional[set[int]] = None,
+        parallel: Optional[bool] = None,
+        tolerant: bool = True,
+    ) -> ColumnBlock:
+        """Load the file (or one window of it) as a single
+        :class:`~repro.trace.columnar.ColumnBlock`.
+
+        This is the bulk-ingest entry point: ``HistoryIndex.extend_columns``,
+        ``TraceGraph.from_columns`` and the viz builders consume the
+        returned columns without per-record parsing.  On a v3 file the
+        columns are concatenated zero-copy decodes (parallel across
+        blocks when many are selected); v1/v2 files are bridged through
+        the record path so every consumer sees one API.
+        """
+        windowed = t_lo is not None or t_hi is not None or procs is not None
+        lo = -math.inf if t_lo is None else t_lo
+        hi = math.inf if t_hi is None else t_hi
+        if lo > hi or (procs is not None and not procs):
+            return ColumnBlock.empty()
+        if self.version < 3:
+            if windowed:
+                records = self.seek_window(lo, hi, procs)
+            else:
+                records = list(self.iter_records(tolerant=tolerant))
+            return ColumnBlock.from_records(records)
+        self.last_skipped_lines = 0
+        if self.index is not None:
+            entries = (
+                self.index.select(lo, hi, procs)
+                if windowed
+                else list(self.index.blocks)
+            )
+            blocks = self._decode_index_blocks(entries, parallel)
+        else:
+            blocks = [b for _, _, b in self._iter_v3_blocks(tolerant)]
+        if windowed:
+            narrowed: list[ColumnBlock] = []
+            for block in blocks:
+                mask = block.window_mask(lo, hi, procs)
+                narrowed.append(block if mask.all() else block.filter(mask))
+            blocks = narrowed
+        return ColumnBlock.concat(blocks)
 
     # ------------------------------------------------------------------
     # indexed window access (§4.3 rescan, without the full scan)
@@ -441,18 +763,30 @@ class TraceFileReader:
         t_hi: float,
         procs: Optional[set[int]] = None,
         use_index: bool = True,
+        parallel: Optional[bool] = None,
     ) -> list[TraceRecord]:
         """Records overlapping [t_lo, t_hi] (optionally only some procs).
 
-        On an indexed (v2) file only the byte ranges of blocks touching
-        the window are read; v1 / unindexed files fall back to a linear
-        scan with the same result.  ``use_index=False`` forces the
-        linear path (benchmarks use it to compare the two).
+        Window boundaries are inclusive on both sides: a record with
+        ``t1 == t_lo`` or ``t0 == t_hi`` is in the window.  A degenerate
+        window (``t_lo > t_hi``) or an empty ``procs`` set returns no
+        records immediately, without touching the file.
+
+        On an indexed file only the byte ranges of blocks touching the
+        window are read (decoded in parallel on v3 when many blocks are
+        selected); v1 / unindexed files fall back to a linear scan with
+        the same result.  ``use_index=False`` forces the linear path
+        (benchmarks use it to compare the two).
 
         The paper (Section 4.3): "If the user wants to zoom in on a
         particular event, the required arcs are reconstructed by
         rescanning the appropriate portion of the trace file."
         """
+        if t_lo > t_hi or (procs is not None and not procs):
+            return []
+
+        if self.version >= 3:
+            return self._seek_window_v3(t_lo, t_hi, procs, use_index, parallel)
 
         def wanted(r: TraceRecord) -> bool:
             return (
@@ -480,6 +814,30 @@ class TraceFileReader:
                         out.append(rec)
         return out
 
+    def _seek_window_v3(
+        self,
+        t_lo: float,
+        t_hi: float,
+        procs: Optional[set[int]],
+        use_index: bool,
+        parallel: Optional[bool],
+    ) -> list[TraceRecord]:
+        self.last_skipped_lines = 0
+        if self.index is not None and use_index:
+            blocks = self._decode_index_blocks(
+                self.index.select(t_lo, t_hi, procs), parallel
+            )
+        else:
+            blocks = [b for _, _, b in self._iter_v3_blocks(tolerant=True)]
+        out: list[TraceRecord] = []
+        for block in blocks:
+            mask = block.window_mask(t_lo, t_hi, procs)
+            if mask.all():
+                out.extend(block.to_records())
+            elif mask.any():
+                out.extend(block.filter(mask).to_records())
+        return out
+
     def rescan_window(
         self,
         t_lo: float,
@@ -502,3 +860,241 @@ def save_trace(
 def load_trace(path: Union[str, Path]) -> Trace:
     """Read a trace file into memory."""
     return TraceFileReader(path).read()
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.trace.tracefile {info,convert,reindex}
+# ----------------------------------------------------------------------
+def _cmd_info(args: argparse.Namespace) -> int:
+    reader = TraceFileReader(args.path)
+    print(f"path    : {reader.path}")
+    print(
+        f"format  : {FORMAT_NAME} v{reader.version}, nprocs {reader.nprocs}"
+    )
+    if reader.index is not None:
+        idx = reader.index
+        counts = [b.count for b in idx.blocks]
+        nbytes = [b.nbytes for b in idx.blocks]
+        encodings = sorted({b.encoding for b in idx.blocks}) or ["-"]
+        print(f"records : {idx.records} (from footer index)")
+        print(f"span    : {idx.t_min:.6g} .. {idx.t_max:.6g}")
+        print(
+            f"index   : {len(idx.blocks)} block(s), "
+            f"encoding {'/'.join(encodings)}"
+        )
+        if counts:
+            print(
+                f"  records/block : min {min(counts)}  "
+                f"mean {sum(counts) / len(counts):.1f}  max {max(counts)}"
+            )
+            print(
+                f"  bytes/block   : min {min(nbytes)}  "
+                f"mean {sum(nbytes) / len(nbytes):.1f}  max {max(nbytes)}"
+            )
+        return 0
+    # footerless: one linear scan
+    if reader.version >= 3:
+        count = 0
+        blocks = 0
+        t_min, t_max = math.inf, -math.inf
+        for _, _, block in reader._iter_v3_blocks(tolerant=True):
+            blocks += 1
+            count += len(block)
+            if len(block):
+                t_min = min(t_min, block.t_min)
+                t_max = max(t_max, block.t_max)
+        span = f"{t_min:.6g} .. {t_max:.6g}" if count else "(empty)"
+        print(f"records : {count} in {blocks} block(s) (linear scan)")
+        print(f"span    : {span}")
+    else:
+        count = sum(1 for _ in reader.iter_records(tolerant=True))
+        t_min, t_max = reader.span()
+        print(f"records : {count} (linear scan)")
+        print(f"span    : {t_min:.6g} .. {t_max:.6g}")
+    print("index   : none (writer not closed cleanly; run `reindex` to repair)")
+    if reader.skipped_lines:
+        print(f"damage  : {reader.skipped_lines} skipped region(s)/line(s)")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    reader = TraceFileReader(args.src)
+    records = reader.read_all(tolerant=True)
+    with TraceFileWriter(
+        args.dst,
+        reader.nprocs,
+        version=args.to,
+        index_block=args.index_block,
+    ) as writer:
+        for rec in records:
+            writer.write(rec)
+    note = (
+        f" ({reader.skipped_lines} damaged region(s) dropped)"
+        if reader.skipped_lines
+        else ""
+    )
+    print(
+        f"converted {len(records)} records: "
+        f"v{reader.version} {args.src} -> v{args.to} {args.dst}{note}"
+    )
+    return 0
+
+
+def _scan_v2_meta(
+    reader: TraceFileReader,
+) -> tuple[list[tuple[int, float, float, int]], int]:
+    """Per-record (offset, t0, t1, proc) of every complete, parseable
+    v1/v2 record line, plus the byte offset just past the last one."""
+    meta: list[tuple[int, float, float, int]] = []
+    end = reader._data_offset
+    offset = end
+    with reader.path.open("rb") as fh:
+        fh.seek(offset)
+        for raw in fh:
+            if not raw.endswith(b"\n"):
+                break  # torn final line: the crash point
+            line = raw.strip()
+            if line:
+                try:
+                    rec = TraceRecord.from_jsonable(json.loads(line))
+                except (
+                    json.JSONDecodeError,
+                    UnicodeDecodeError,
+                    KeyError,
+                    ValueError,
+                    TypeError,
+                ):
+                    break
+                meta.append((offset, rec.t0, rec.t1, rec.proc))
+            offset += len(raw)
+            end = offset
+    return meta, end
+
+
+def _cmd_reindex(args: argparse.Namespace) -> int:
+    reader = TraceFileReader(args.path)
+    if reader.version == 1:
+        print("error: v1 files have no index footer; use `convert` instead",
+              file=sys.stderr)
+        return 2
+    if reader.has_index:
+        print(f"{reader.path}: already indexed; nothing to do")
+        return 0
+    size = reader.path.stat().st_size
+    if reader.version >= 3:
+        blocks: list[IndexBlock] = []
+        end = reader._data_offset
+        for offset, nbytes, block in reader._iter_v3_blocks(tolerant=True):
+            blocks.append(
+                IndexBlock(
+                    offset=offset,
+                    nbytes=nbytes,
+                    count=len(block),
+                    t_min=block.t_min,
+                    t_max=block.t_max,
+                    procs=block.procs,
+                    encoding="columnar",
+                )
+            )
+            end = offset + nbytes
+        records = sum(b.count for b in blocks)
+        index = TraceIndex(
+            tuple(blocks),
+            records,
+            min((b.t_min for b in blocks), default=0.0),
+            max((b.t_max for b in blocks), default=0.0),
+        )
+        footer = b"\n" + json.dumps(index.to_jsonable()).encode("ascii") + b"\n"
+    else:
+        meta, end = _scan_v2_meta(reader)
+        blocks = []
+        for start in range(0, len(meta), args.index_block):
+            chunk = meta[start : start + args.index_block]
+            next_off = (
+                meta[start + args.index_block][0]
+                if start + args.index_block < len(meta)
+                else end
+            )
+            blocks.append(
+                IndexBlock(
+                    offset=chunk[0][0],
+                    nbytes=next_off - chunk[0][0],
+                    count=len(chunk),
+                    t_min=min(m[1] for m in chunk),
+                    t_max=max(m[2] for m in chunk),
+                    procs=frozenset(m[3] for m in chunk),
+                )
+            )
+        records = len(meta)
+        index = TraceIndex(
+            tuple(blocks),
+            records,
+            min((m[1] for m in meta), default=0.0),
+            max((m[2] for m in meta), default=0.0),
+        )
+        footer = json.dumps(index.to_jsonable()).encode("ascii") + b"\n"
+    dropped = size - end
+    with reader.path.open("rb+") as fh:
+        fh.truncate(end)
+        fh.seek(end)
+        fh.write(footer)
+    note = f", dropped {dropped} damaged trailing byte(s)" if dropped else ""
+    print(
+        f"reindexed {reader.path}: {records} records in "
+        f"{len(blocks)} block(s){note}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace.tracefile",
+        description="Inspect, convert and repair repro trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser(
+        "info", help="print version, record count, span and per-block stats"
+    )
+    p_info.add_argument("path", help="trace file to inspect")
+
+    p_conv = sub.add_parser(
+        "convert", help="re-encode a trace file to another format version"
+    )
+    p_conv.add_argument("src", help="source trace file (any version)")
+    p_conv.add_argument("dst", help="destination path")
+    p_conv.add_argument(
+        "--to", type=int, choices=sorted(SUPPORTED_VERSIONS),
+        default=FORMAT_VERSION, help="target format version (default: %(default)s)",
+    )
+    p_conv.add_argument(
+        "--index-block", type=int, default=DEFAULT_INDEX_BLOCK,
+        help="records per index block (default: %(default)s)",
+    )
+
+    p_re = sub.add_parser(
+        "reindex",
+        help="rebuild a missing index footer in place (recovers a "
+        "crashed-writer file from the linear slow path)",
+    )
+    p_re.add_argument("path", help="footerless v2/v3 trace file")
+    p_re.add_argument(
+        "--index-block", type=int, default=DEFAULT_INDEX_BLOCK,
+        help="records per rebuilt index block, v2 only (default: %(default)s)",
+    )
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "convert": _cmd_convert,
+        "reindex": _cmd_reindex,
+    }
+    try:
+        return handlers[args.command](args)
+    except (TraceFileError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -183,6 +183,39 @@ def build_diagram(
     return diagram
 
 
+def build_columns_diagram(
+    block,
+    nprocs: int,
+    kinds: Optional[Sequence[EventKind]] = None,
+) -> TimeSpaceDiagram:
+    """Display model from a decoded columnar block (the
+    ``TraceFileReader.read_columns`` feed): the block is bulk-ingested
+    into a fresh :class:`~repro.analysis.history.HistoryIndex` without
+    per-record parsing, then laid out as usual."""
+    from repro.analysis.history import HistoryIndex
+
+    idx = HistoryIndex(nprocs=nprocs)
+    idx.extend_columns(block)
+    return build_diagram(idx.trace, kinds=kinds, index=idx)
+
+
+def build_file_diagram(
+    reader,
+    kinds: Optional[Sequence[EventKind]] = None,
+    t_lo: Optional[float] = None,
+    t_hi: Optional[float] = None,
+    procs: Optional[set[int]] = None,
+) -> TimeSpaceDiagram:
+    """Display model for a trace *file* through the bulk columnar path.
+
+    ``reader`` is a ``TraceFileReader``; a v3 file is decoded
+    column-wise (optionally windowed -- only overlapping blocks are
+    read), v1/v2 files bridge through the record path transparently.
+    """
+    block = reader.read_columns(t_lo=t_lo, t_hi=t_hi, procs=procs)
+    return build_columns_diagram(block, reader.nprocs, kinds=kinds)
+
+
 def build_window_diagram(
     reader,
     t_lo: float,
@@ -191,10 +224,15 @@ def build_window_diagram(
     kinds: Optional[Sequence[EventKind]] = None,
 ) -> TimeSpaceDiagram:
     """Display model for one window of a trace *file*, loading only the
-    relevant byte ranges of an indexed (v2) file via ``seek_window`` --
-    the NTV zoom without the full-file reload.  ``reader`` is a
-    ``TraceFileReader``; v1 files work through the linear fallback.
+    relevant byte ranges of an indexed file -- the NTV zoom without the
+    full-file reload.  On a v3 file the window arrives as decoded
+    columns (``read_columns``); v1/v2 go through ``seek_window``, and
+    v1 files work through the linear fallback.
     """
+    if getattr(reader, "version", 0) >= 3:
+        return build_file_diagram(
+            reader, kinds=kinds, t_lo=t_lo, t_hi=t_hi, procs=procs
+        )
     records = reader.seek_window(t_lo, t_hi, procs=procs)
     return build_diagram(records, kinds=kinds, nprocs=reader.nprocs)
 

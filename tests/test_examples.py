@@ -35,7 +35,7 @@ CASES = {
     ],
     "instrumentation_tour.py": [
         "__aims__.enter",
-        "trace file: aims_trace.jsonl",
+        "trace file: aims_trace.trace",
         "patched entries; function restored",
     ],
 }

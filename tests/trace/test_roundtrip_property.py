@@ -2,7 +2,8 @@
 
 Arbitrary record batches through ``TraceFileWriter`` then back through
 ``TraceFileReader`` must preserve order, kinds, and payloads -- for the
-current (v2, indexed) format and for legacy v1 files, and whether the
+current (v3, columnar) format, the v2 indexed JSON-lines format, and
+legacy v1 files, and whether the
 read is a full load, a linear stream, or an indexed window seek.
 """
 
@@ -64,7 +65,7 @@ def make_batch(seed: int, n: int, nprocs: int = 4) -> list[TraceRecord]:
 
 
 @pytest.mark.parametrize("seed,n", [(0, 1), (1, 17), (2, 100), (3, 613)])
-@pytest.mark.parametrize("version", [1, 2])
+@pytest.mark.parametrize("version", [1, 2, 3])
 def test_roundtrip_preserves_everything(tmp_path, seed, n, version):
     batch = make_batch(seed, n)
     path = tmp_path / "t.jsonl"
@@ -150,7 +151,7 @@ def test_unclosed_v2_file_falls_back_to_linear(tmp_path):
     """Footer missing (writer never closed / crashed): linear path."""
     batch = make_batch(14, 20)
     path = tmp_path / "t.jsonl"
-    w = TraceFileWriter(path, nprocs=4)
+    w = TraceFileWriter(path, nprocs=4, version=2)
     for rec in batch:
         w.write(rec)
     w.flush()  # records on disk, but no footer yet

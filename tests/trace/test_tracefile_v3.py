@@ -1,0 +1,537 @@
+"""Format v3: binary columnar blocks, bulk column reads, the parallel
+block loader, the recovery CLI, and the writer/seek edge-case fixes.
+
+Compatibility invariants (v1/v2 behavior unchanged) live in
+``test_roundtrip_property``; this module covers what v3 adds.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.analysis.history import HistoryIndex
+from repro.graphs.tracegraph import TraceGraph
+from repro.mp.datatypes import SourceLocation
+from repro.trace import (
+    ColumnBlock,
+    EventKind,
+    TraceFileError,
+    TraceFileReader,
+    TraceFileWriter,
+    TraceRecord,
+)
+from repro.trace.tracefile import main as tracefile_main
+from repro.viz.timespace import build_file_diagram, build_window_diagram
+
+KINDS = list(EventKind)
+
+
+def random_record(rng: random.Random, index: int, nprocs: int) -> TraceRecord:
+    t0 = round(rng.uniform(0, 100), 3)
+    rec = TraceRecord(
+        index=index,
+        proc=rng.randrange(nprocs),
+        kind=rng.choice(KINDS),
+        t0=t0,
+        t1=round(t0 + rng.uniform(0, 5), 3),
+        marker=index + 1,
+        location=SourceLocation(
+            f"file{rng.randrange(3)}.py", rng.randrange(1, 500), f"fn{rng.randrange(5)}"
+        ),
+    )
+    if rng.random() < 0.5:
+        rec.src = rng.randrange(nprocs)
+        rec.dst = rng.randrange(nprocs)
+        rec.tag = rng.randrange(100)
+        rec.size = rng.randrange(1, 1 << 16)
+        rec.seq = rng.randrange(1000)
+    if rng.random() < 0.3:
+        rec.peer_location = SourceLocation("peer.py", 7, "sender")
+        rec.peer_marker = rng.randrange(100)
+        rec.peer_time = round(rng.uniform(0, 100), 3)
+    if rng.random() < 0.3:
+        rec.extra = {"note": f"x{index}", "n": rng.randrange(10)}
+    return rec
+
+
+def make_batch(seed: int, n: int, nprocs: int = 4) -> list[TraceRecord]:
+    rng = random.Random(seed)
+    return [random_record(rng, i, nprocs) for i in range(n)]
+
+
+def write_v3(path, batch, nprocs=4, index_block=64, close=True):
+    writer = TraceFileWriter(path, nprocs=nprocs, index_block=index_block)
+    for rec in batch:
+        writer.write(rec)
+    if close:
+        writer.close()
+    return writer
+
+
+class TestV3Format:
+    def test_default_version_is_v3_and_indexed(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_v3(path, make_batch(0, 100))
+        reader = TraceFileReader(path)
+        assert reader.version == 3
+        assert reader.has_index
+        assert all(b.encoding == "columnar" for b in reader.index.blocks)
+
+    def test_header_is_text_body_is_binary(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_v3(path, make_batch(1, 10))
+        raw = path.read_bytes()
+        header = json.loads(raw.split(b"\n", 1)[0])
+        assert header["version"] == 3
+        assert header["kinds"] == [k.value for k in EventKind]
+        assert b"RTB3" in raw
+
+    def test_read_all_roundtrip(self, tmp_path):
+        batch = make_batch(2, 613)
+        path = tmp_path / "t.trace"
+        write_v3(path, batch)
+        assert TraceFileReader(path).read_all() == batch
+
+    def test_footerless_v3_reads_linearly(self, tmp_path):
+        """Crashed writer (no footer): the self-delimiting block walk."""
+        batch = make_batch(3, 100)
+        path = tmp_path / "t.trace"
+        w = write_v3(path, batch, close=False)
+        w.flush()  # blocks on disk, no footer
+        reader = TraceFileReader(path)
+        assert reader.version == 3
+        assert not reader.has_index
+        assert reader.read_all() == batch
+        assert reader.seek_window(0.0, 1000.0) == batch
+        w.close()
+
+    def test_trailing_garbage_strict_and_tolerant(self, tmp_path):
+        batch = make_batch(4, 20)
+        path = tmp_path / "t.trace"
+        write_v3(path, batch)
+        with path.open("ab") as fh:
+            fh.write(b"RTB3garbage-that-is-not-a-block")
+        with pytest.raises(TraceFileError, match="malformed record"):
+            TraceFileReader(path).read()
+        reader = TraceFileReader(path)
+        trace, skipped = reader.read_checked(tolerant=True)
+        assert len(trace) == len(batch)
+        assert skipped == 1
+        reader.read(tolerant=True)
+        assert reader.skipped_lines == 2  # cumulative, like v2
+
+    def test_truncated_final_block_tolerant(self, tmp_path):
+        """A torn flush (block cut mid-bytes) drops only that block."""
+        batch = make_batch(5, 100)
+        path = tmp_path / "t.trace"
+        w = write_v3(path, batch, index_block=32, close=False)
+        w.flush()
+        size = path.stat().st_size
+        with path.open("rb+") as fh:
+            fh.truncate(size - 11)
+        reader = TraceFileReader(path)
+        got = reader.read_all(tolerant=True)
+        assert reader.last_skipped_lines == 1
+        assert got == batch[: len(got)]  # an exact prefix, block-aligned
+        assert len(got) == 96  # 3 of 4 blocks survive
+        w.close()
+
+    def test_unicode_payloads_roundtrip(self, tmp_path):
+        rec = TraceRecord(
+            index=0, proc=0, kind=EventKind.COMPUTE, t0=0.0, t1=1.0, marker=1,
+            location=SourceLocation("méshページ.py", 3, "søknad"),
+            extra={"λ": "данные", "emoji": "🜲"},
+        )
+        path = tmp_path / "t.trace"
+        write_v3(path, [rec], nprocs=1)
+        assert TraceFileReader(path).read_all() == [rec]
+
+
+class TestParallelLoader:
+    def test_parallel_equals_serial_read_all(self, tmp_path):
+        batch = make_batch(6, 800)
+        path = tmp_path / "t.trace"
+        write_v3(path, batch, index_block=32)  # 25 blocks
+        reader = TraceFileReader(path)
+        assert len(reader.index.blocks) >= 4
+        assert reader.read_all(parallel=True) == reader.read_all(parallel=False)
+        assert reader.read_all(parallel=True) == batch
+
+    def test_parallel_equals_serial_seek_window(self, tmp_path):
+        batch = make_batch(7, 800)
+        path = tmp_path / "t.trace"
+        write_v3(path, batch, index_block=32)
+        reader = TraceFileReader(path)
+        rng = random.Random(7)
+        for _ in range(5):
+            t_lo = rng.uniform(0, 90)
+            t_hi = t_lo + rng.uniform(0, 30)
+            procs = rng.choice([None, {0}, {1, 3}])
+            par = reader.seek_window(t_lo, t_hi, procs, parallel=True)
+            ser = reader.seek_window(t_lo, t_hi, procs, parallel=False)
+            lin = reader.seek_window(t_lo, t_hi, procs, use_index=False)
+            assert par == ser == lin
+
+    def test_indexed_window_reads_fewer_bytes_than_linear(self, tmp_path):
+        # records ordered in time so blocks have disjoint spans
+        batch = make_batch(8, 2000)
+        batch.sort(key=lambda r: r.t0)
+        for i, rec in enumerate(batch):
+            rec.index = i
+        path = tmp_path / "t.trace"
+        write_v3(path, batch, index_block=64)
+        reader = TraceFileReader(path)
+        reader.seek_window(10.0, 12.0)
+        seek_bytes = reader.bytes_read
+        reader.seek_window(10.0, 12.0, use_index=False)
+        linear_bytes = reader.bytes_read - seek_bytes
+        assert 0 < seek_bytes < linear_bytes
+
+
+class TestWriterFooterOnException:
+    def test_context_manager_writes_footer_when_body_raises(self, tmp_path):
+        """Regression: a raising ``with`` body must still produce an
+        indexed file (close() runs via __exit__ even on error)."""
+        batch = make_batch(9, 50)
+        path = tmp_path / "t.trace"
+        with pytest.raises(RuntimeError, match="boom"):
+            with TraceFileWriter(path, nprocs=4) as w:
+                for rec in batch:
+                    w.write(rec)
+                raise RuntimeError("boom")
+        reader = TraceFileReader(path)
+        assert reader.has_index
+        assert reader.read_all() == batch
+
+    def test_footer_survives_failing_final_flush(self, tmp_path):
+        """A v3 flush can fail at encode time (JSON-unserializable
+        extra).  close() must still write a footer covering the records
+        that made it to disk."""
+        batch = make_batch(10, 40)
+        poison = TraceRecord(
+            index=40, proc=0, kind=EventKind.COMPUTE, t0=0.0, t1=1.0,
+            marker=41, extra={"bad": object()},
+        )
+        path = tmp_path / "t.trace"
+        w = TraceFileWriter(path, nprocs=4, index_block=16)
+        for rec in batch:
+            w.write(rec)
+        w.flush()
+        w.write(poison)
+        with pytest.raises(TypeError):
+            w.close()
+        reader = TraceFileReader(path)
+        assert reader.has_index
+        assert reader.index.records == 40
+        assert reader.read_all() == batch
+
+    @pytest.mark.parametrize("version", [2, 3])
+    def test_double_close_is_idempotent(self, tmp_path, version):
+        path = tmp_path / "t.trace"
+        w = TraceFileWriter(path, nprocs=2, version=version)
+        w.write(TraceRecord(index=0, proc=0, kind=EventKind.COMPUTE,
+                            t0=0.0, t1=1.0, marker=1))
+        w.close()
+        w.close()
+        reader = TraceFileReader(path)
+        assert reader.index.records == 1
+
+
+class TestSeekWindowEdgeCases:
+    @pytest.fixture()
+    def reader(self, tmp_path):
+        recs = [
+            TraceRecord(index=i, proc=i % 2, kind=EventKind.COMPUTE,
+                        t0=float(i), t1=float(i) + 1.0, marker=i + 1)
+            for i in range(10)
+        ]
+        path = tmp_path / "t.trace"
+        write_v3(path, recs, nprocs=2, index_block=4)
+        return TraceFileReader(path)
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_empty_window_returns_nothing_without_io(self, tmp_path, version):
+        batch = make_batch(11, 30)
+        path = tmp_path / "t.trace"
+        with TraceFileWriter(path, nprocs=4, version=version) as w:
+            for rec in batch:
+                w.write(rec)
+        reader = TraceFileReader(path)
+        before = reader.bytes_read
+        assert reader.seek_window(5.0, 1.0) == []  # t_lo > t_hi
+        assert reader.bytes_read == before  # answered without touching disk
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_empty_procs_returns_nothing_without_io(self, tmp_path, version):
+        batch = make_batch(12, 30)
+        path = tmp_path / "t.trace"
+        with TraceFileWriter(path, nprocs=4, version=version) as w:
+            for rec in batch:
+                w.write(rec)
+        reader = TraceFileReader(path)
+        before = reader.bytes_read
+        assert reader.seek_window(0.0, 100.0, procs=set()) == []
+        assert reader.bytes_read == before
+
+    def test_exact_boundaries_inclusive(self, reader):
+        # record 3 spans [3, 4]: t1 == t_lo and t0 == t_hi both hit
+        got = reader.seek_window(4.0, 4.0)
+        assert sorted(r.index for r in got) == [3, 4]
+        assert reader.seek_window(4.0, 4.0) == reader.seek_window(
+            4.0, 4.0, use_index=False
+        )
+
+    def test_point_window_on_gap(self, reader):
+        assert reader.seek_window(-5.0, -1.0) == []
+        assert reader.seek_window(200.0, 300.0) == []
+
+    def test_proc_filter(self, reader):
+        got = reader.seek_window(0.0, 100.0, procs={1})
+        assert [r.index for r in got] == [1, 3, 5, 7, 9]
+
+
+class TestReadColumns:
+    def test_columns_match_records(self, tmp_path):
+        batch = make_batch(13, 500)
+        path = tmp_path / "t.trace"
+        write_v3(path, batch, index_block=64)
+        reader = TraceFileReader(path)
+        block = reader.read_columns()
+        assert isinstance(block, ColumnBlock)
+        assert len(block) == len(batch)
+        assert block.to_records() == batch
+        assert block.columns["t0"].tolist() == [r.t0 for r in batch]
+
+    def test_windowed_columns_match_seek_window(self, tmp_path):
+        batch = make_batch(14, 500)
+        path = tmp_path / "t.trace"
+        write_v3(path, batch, index_block=64)
+        reader = TraceFileReader(path)
+        block = reader.read_columns(t_lo=20.0, t_hi=40.0, procs={0, 2})
+        assert block.to_records() == reader.seek_window(20.0, 40.0, {0, 2})
+
+    def test_degenerate_window_columns_empty(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_v3(path, make_batch(15, 50))
+        reader = TraceFileReader(path)
+        assert len(reader.read_columns(t_lo=5.0, t_hi=1.0)) == 0
+        assert len(reader.read_columns(procs=set())) == 0
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_v1_v2_bridge(self, tmp_path, version):
+        batch = make_batch(16, 120)
+        path = tmp_path / "t.trace"
+        with TraceFileWriter(path, nprocs=4, version=version) as w:
+            for rec in batch:
+                w.write(rec)
+        block = TraceFileReader(path).read_columns()
+        assert block.to_records() == batch
+
+    def test_footerless_columns(self, tmp_path):
+        batch = make_batch(17, 90)
+        path = tmp_path / "t.trace"
+        w = write_v3(path, batch, close=False)
+        w.flush()
+        assert TraceFileReader(path).read_columns().to_records() == batch
+        w.close()
+
+
+class TestBulkConsumers:
+    def make_file(self, tmp_path, seed=18, n=400):
+        batch = make_batch(seed, n)
+        path = tmp_path / "t.trace"
+        write_v3(path, batch, index_block=64)
+        return path, batch
+
+    def test_history_index_extend_columns(self, tmp_path):
+        path, batch = self.make_file(tmp_path)
+        reader = TraceFileReader(path)
+        bulk = HistoryIndex(nprocs=reader.nprocs)
+        bulk.extend_columns(reader.read_columns())
+        ref = HistoryIndex(nprocs=reader.nprocs)
+        ref.extend_many(batch)
+        assert len(bulk) == len(ref)
+        assert list(bulk.records) == list(ref.records)
+        assert bulk.span == ref.span
+        assert [p.send.index for p in bulk.message_pairs()] == [
+            p.send.index for p in ref.message_pairs()
+        ]
+        assert (bulk.clocks == ref.clocks).all()
+        for p in range(4):
+            assert list(bulk.by_proc(p)) == list(ref.by_proc(p))
+
+    def test_history_index_from_file(self, tmp_path):
+        path, batch = self.make_file(tmp_path, seed=19)
+        idx = HistoryIndex.from_file(TraceFileReader(path))
+        assert list(idx.records) == batch
+
+    def test_tracegraph_from_file(self, tmp_path):
+        path, batch = self.make_file(tmp_path, seed=20)
+        via_file = TraceGraph.from_file(TraceFileReader(path))
+        via_records = TraceGraph.from_records(batch, nprocs=4)
+        assert via_file.events_consumed == via_records.events_consumed
+        assert sorted(map(str, via_file.nodes)) == sorted(
+            map(str, via_records.nodes)
+        )
+        assert len(via_file.arcs()) == len(via_records.arcs())
+
+    def test_timespace_file_diagram(self, tmp_path):
+        path, batch = self.make_file(tmp_path, seed=21)
+        reader = TraceFileReader(path)
+        diagram = build_file_diagram(reader)
+        from repro.viz.timespace import build_diagram
+
+        ref = build_diagram(batch, nprocs=4)
+        assert len(diagram.bars) == len(ref.bars)
+        assert len(diagram.messages) == len(ref.messages)
+
+    def test_timespace_window_diagram_v3(self, tmp_path):
+        path, batch = self.make_file(tmp_path, seed=22)
+        reader = TraceFileReader(path)
+        diagram = build_window_diagram(reader, 10.0, 30.0)
+        wanted = reader.seek_window(10.0, 30.0)
+        assert {b.record.marker for b in diagram.bars} <= {
+            r.marker for r in wanted
+        }
+        assert len(diagram.bars) == sum(
+            1 for r in wanted
+            if r.t1 > r.t0
+            and r.kind not in (EventKind.PROC_START, EventKind.PROC_EXIT)
+        )
+
+
+class TestSinkVersionSelection:
+    def test_filesink_version_parameter(self, tmp_path):
+        from repro.trace import FileSink
+
+        for version in (2, 3):
+            path = tmp_path / f"v{version}.trace"
+            sink = FileSink(path, nprocs=2, version=version)
+            sink.emit(TraceRecord(index=0, proc=0, kind=EventKind.COMPUTE,
+                                  t0=0.0, t1=1.0, marker=1))
+            sink.close()
+            assert TraceFileReader(path).version == version
+
+    def test_recorder_attach_file_version(self, tmp_path):
+        from repro.trace import TraceRecorder
+
+        rec = TraceRecorder(2)
+        path = tmp_path / "t.trace"
+        writer = rec.attach_file(path, version=2)
+        assert writer.version == 2
+        rec.close()
+        assert TraceFileReader(path).version == 2
+
+
+class TestCLI:
+    def make_file(self, tmp_path, n=150, version=3, close=True):
+        batch = make_batch(23, n)
+        path = tmp_path / "t.trace"
+        w = TraceFileWriter(path, nprocs=4, version=version, index_block=32)
+        for rec in batch:
+            w.write(rec)
+        if close:
+            w.close()
+        else:
+            w.flush()
+        return path, batch, w
+
+    def test_info_indexed(self, tmp_path, capsys):
+        path, batch, _ = self.make_file(tmp_path)
+        assert tracefile_main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "v3" in out and "150" in out and "columnar" in out
+
+    def test_info_footerless(self, tmp_path, capsys):
+        path, batch, w = self.make_file(tmp_path, close=False)
+        assert tracefile_main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "linear scan" in out and "reindex" in out
+        w.close()
+
+    @pytest.mark.parametrize("src_v,dst_v", [(2, 3), (3, 2), (1, 3), (3, 1)])
+    def test_convert_roundtrip(self, tmp_path, capsys, src_v, dst_v):
+        path, batch, _ = self.make_file(tmp_path, version=src_v)
+        dst = tmp_path / "out.trace"
+        code = tracefile_main(
+            ["convert", str(path), str(dst), "--to", str(dst_v)]
+        )
+        assert code == 0
+        reader = TraceFileReader(dst)
+        assert reader.version == dst_v
+        assert reader.read_all() == batch
+
+    def test_reindex_recovers_footerless_v3(self, tmp_path, capsys):
+        path, batch, w = self.make_file(tmp_path, close=False)
+        assert not TraceFileReader(path).has_index
+        assert tracefile_main(["reindex", str(path)]) == 0
+        reader = TraceFileReader(path)
+        assert reader.has_index
+        assert reader.index.records == len(batch)
+        assert reader.read_all() == batch
+        # the rebuilt index answers windows identically
+        assert reader.seek_window(10.0, 30.0) == reader.seek_window(
+            10.0, 30.0, use_index=False
+        )
+        w.close()
+
+    def test_reindex_truncates_torn_tail(self, tmp_path, capsys):
+        path, batch, w = self.make_file(tmp_path, close=False)
+        with path.open("ab") as fh:
+            fh.write(b"torn-tail-bytes")
+        assert tracefile_main(["reindex", str(path)]) == 0
+        assert "dropped" in capsys.readouterr().out
+        reader = TraceFileReader(path)
+        assert reader.has_index
+        assert reader.read_all() == batch
+        w.close()
+
+    def test_reindex_recovers_footerless_v2(self, tmp_path, capsys):
+        path, batch, w = self.make_file(tmp_path, version=2, close=False)
+        with path.open("a") as fh:
+            fh.write('{"i": 999, "p": 0, "k": "comp')  # torn last line
+        assert tracefile_main(["reindex", str(path), "--index-block", "32"]) == 0
+        reader = TraceFileReader(path)
+        assert reader.has_index
+        assert reader.version == 2
+        assert reader.read_all() == batch
+        assert reader.seek_window(10.0, 30.0) == reader.seek_window(
+            10.0, 30.0, use_index=False
+        )
+        w.close()
+
+    def test_reindex_already_indexed_is_noop(self, tmp_path, capsys):
+        path, _, _ = self.make_file(tmp_path)
+        before = path.read_bytes()
+        assert tracefile_main(["reindex", str(path)]) == 0
+        assert "already indexed" in capsys.readouterr().out
+        assert path.read_bytes() == before
+
+    def test_reindex_v1_refused(self, tmp_path, capsys):
+        path, _, _ = self.make_file(tmp_path, version=1)
+        assert tracefile_main(["reindex", str(path)]) == 2
+        assert "convert" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert tracefile_main(["info", str(tmp_path / "nope.trace")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_module_is_executable(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ, PYTHONPATH=src_dir)
+        path, batch, _ = self.make_file(tmp_path)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.trace.tracefile", "info", str(path)],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0
+        assert "v3" in proc.stdout
