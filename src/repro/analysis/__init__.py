@@ -16,6 +16,7 @@
 
 from .causality import CausalOrder, check_trace_causality, compute_causal_order
 from .history import (
+    ENGINES,
     HistoryIndex,
     IndexSink,
     IndexStats,
@@ -70,6 +71,7 @@ __all__ = [
     "CausalOrder",
     "CommMatrix",
     "CriticalPath",
+    "ENGINES",
     "HistoryIndex",
     "IndexSink",
     "IndexStats",

@@ -38,6 +38,17 @@ class CausalOrder:
 
     trace: Trace
     clocks: np.ndarray  # (n_events, nprocs), dtype int64
+    #: per-record proc column (int64), derived lazily when not supplied.
+    #: A HistoryIndex hands in its column-store view so closure queries
+    #: never pay the O(n) Python attribute walk.
+    procs: Optional[np.ndarray] = None
+
+    def _proc_column(self) -> np.ndarray:
+        if self.procs is None:
+            self.procs = np.fromiter(
+                (r.proc for r in self.trace), dtype=np.int64, count=len(self.trace)
+            )
+        return self.procs
 
     # ------------------------------------------------------------------
     # pairwise relations
@@ -70,7 +81,7 @@ class CausalOrder:
         "The past of the event is defined as the set of events that are
         guaranteed to have happened before it."
         """
-        procs = np.fromiter((r.proc for r in self.trace), dtype=np.int64)
+        procs = self._proc_column()
         own = self.clocks[np.arange(len(self.trace)), procs]
         mask = own <= self.clocks[e, procs]
         mask[e] = False

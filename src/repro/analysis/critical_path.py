@@ -21,14 +21,32 @@ their sends; per-process order is program order).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.trace.events import TraceRecord
+import numpy as np
+
+from repro.trace.columnar import KIND_CODES
+from repro.trace.events import COLLECTIVE_KINDS, EventKind, TraceRecord
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .history import HistoryIndex
+
+#: kinds whose records carry zero path weight: aggregate/wait records
+#: overlap their constituent point-to-point events (which carry the
+#: weight) and include wait time.
+ZERO_WEIGHT_KINDS = frozenset(COLLECTIVE_KINDS) | {
+    EventKind.WAIT,
+    EventKind.WAITALL,
+    EventKind.WAITANY,
+    EventKind.SENDRECV,
+    EventKind.TEST,
+}
+_ZERO_WEIGHT_CODES = np.array(
+    sorted(KIND_CODES[k] for k in ZERO_WEIGHT_KINDS), dtype=np.uint8
+)
 
 
 @dataclass
@@ -76,6 +94,7 @@ class CriticalPath:
 def critical_path(
     trace: "Trace | Iterable[TraceRecord]",
     index: "Optional[HistoryIndex]" = None,
+    engine: Optional[str] = None,
 ) -> CriticalPath:
     """Longest path through the happens-before DAG of the trace.
 
@@ -83,10 +102,32 @@ def critical_path(
     streaming consumers hand a file reader's stream straight in).  The
     send-of-recv map and span come from the shared
     :class:`~repro.analysis.history.HistoryIndex`.
+
+    ``engine`` defaults to the index's engine.  The numpy kernel runs
+    the longest-path DP as per-process cumulative-sum segments delimited
+    by receive joins (Python touches only the joins); the python kernel
+    is the per-record reference.  Both report wall-clock into the
+    index's per-kernel stats (``critical_path[<engine>]``).
     """
-    from .history import ensure_index
+    from .history import ENGINES, ensure_index
 
     idx = ensure_index(trace, index=index)
+    eng = engine if engine is not None else idx.engine
+    if eng not in ENGINES:
+        raise ValueError(f"unknown engine {eng!r}; expected one of {ENGINES}")
+    start = time.perf_counter()
+    try:
+        if eng == "python":
+            result = _critical_path_python(idx)
+        else:
+            result = _critical_path_numpy(idx)
+    finally:
+        idx.record_kernel(f"critical_path[{eng}]", time.perf_counter() - start)
+    return result
+
+
+def _critical_path_python(idx: "HistoryIndex") -> CriticalPath:
+    """Reference kernel: one Python DP step per record."""
     trace = idx.trace
     n = len(trace)
     if n == 0:
@@ -110,17 +151,7 @@ def critical_path(
             if s is None:
                 return 0.0
             return max(0.0, rec.t1 - max(trace[s].t1, rec.t0))
-        from repro.trace.events import EventKind
-
-        if rec.is_collective or rec.kind in (
-            EventKind.WAIT,
-            EventKind.WAITALL,
-            EventKind.WAITANY,
-            EventKind.SENDRECV,
-            EventKind.TEST,
-        ):
-            # Aggregate records overlap their constituent point-to-point
-            # events (which carry the weight) and include wait time.
+        if rec.kind in ZERO_WEIGHT_KINDS:
             return 0.0
         return rec.duration
 
@@ -159,6 +190,137 @@ def critical_path(
         length=dist[end],
         span=t_hi - t_lo,
         weights=[work(rec) for rec in path],
+    )
+
+
+def _critical_path_numpy(idx: "HistoryIndex") -> CriticalPath:
+    """Vectorized kernel over the index's column store.
+
+    Between receive joins, a process's DP is a pure running sum (every
+    weight and distance is non-negative, so the program-order candidate
+    always wins or ties the fresh-start one), so each process's rows
+    split into segments delimited by its matched receives and a segment
+    is one chained ``np.cumsum`` flush -- sequential additions, hence
+    bitwise-identical to the scalar loop.  Python touches only the
+    joins (O(messages) iterations), where the send edge competes with
+    the program edge under the scalar tie-break (program first, send
+    wins only strictly).
+    """
+    trace = idx.trace
+    n = len(trace)
+    if n == 0:
+        return CriticalPath([], 0.0, 0.0, [])
+    cols = idx.columns
+    send_of_recv = idx.send_of_recv  # also forces matching before clocks
+    nprocs = idx.nprocs
+    t0 = cols["t0"]
+    t1 = cols["t1"]
+    kind = cols["kind"]
+    proc_col = cols["proc"]
+
+    # --- weights, vectorized ------------------------------------------
+    from .history import RECV_CODES
+
+    w = t1 - t0
+    w[np.isin(kind, _ZERO_WEIGHT_CODES)] = 0.0
+    w[kind == RECV_CODES[0]] = 0.0  # unmatched receives contribute nothing
+    if send_of_recv:
+        r_arr = np.fromiter(
+            send_of_recv.keys(), dtype=np.int64, count=len(send_of_recv)
+        )
+        s_arr = np.fromiter(
+            send_of_recv.values(), dtype=np.int64, count=len(send_of_recv)
+        )
+        w[r_arr] = np.maximum(0.0, t1[r_arr] - np.maximum(t1[s_arr], t0[r_arr]))
+
+    # --- per-process segment machinery --------------------------------
+    order = np.argsort(proc_col, kind="stable").astype(np.int64)
+    bounds = np.searchsorted(proc_col[order], np.arange(nprocs + 1))
+    idxs_by_proc = [order[bounds[p]: bounds[p + 1]] for p in range(nprocs)]
+    rowpos = np.empty(n, dtype=np.int64)
+    for p in range(nprocs):
+        rows = idxs_by_proc[p]
+        rowpos[rows] = np.arange(rows.size, dtype=np.int64)
+
+    dist = np.zeros(n, dtype=np.float64)
+    pred = np.full(n, -1, dtype=np.int64)
+    tail = [0.0] * nprocs  # dist of each process's last flushed record
+    flushed = [0] * nprocs  # rowpos high-water mark per process
+    # contiguous per-process weight views: flushes slice, never gather
+    w_by_proc = [w[idxs_by_proc[p]] for p in range(nprocs)]
+
+    def flush(p: int, upto: int) -> None:
+        a = flushed[p]
+        if upto > a:
+            rows = idxs_by_proc[p][a:upto]
+            wseg = w_by_proc[p][a:upto]
+            buf = np.empty(rows.size + 1, dtype=np.float64)
+            buf[0] = tail[p]
+            buf[1:] = wseg
+            np.add.accumulate(buf, out=buf)  # sequential adds, bitwise
+            seg = buf[1:]
+            dist[rows] = seg
+            prev_i = np.empty(rows.size, dtype=np.int64)
+            prev_i[0] = idxs_by_proc[p][a - 1] if a > 0 else -1
+            prev_i[1:] = rows[:-1]
+            # the program edge is taken only when strictly better than a
+            # fresh start (same `cand > best` test as the scalar loop)
+            pred[rows] = np.where(seg > wseg, prev_i, -1)
+            tail[p] = float(seg[-1])
+            flushed[p] = upto
+
+    joins = sorted(send_of_recv.keys())
+    if joins:
+        j_arr = np.asarray(joins, dtype=np.int64)
+        s_list = [send_of_recv[i] for i in joins]
+        s_arr2 = np.asarray(s_list, dtype=np.int64)
+        jp_l = proc_col[j_arr].tolist()
+        jrp_l = rowpos[j_arr].tolist()
+        jw_l = w[j_arr].tolist()
+        sq_l = proc_col[s_arr2].tolist()
+        srp_l = rowpos[s_arr2].tolist()
+    for k, i in enumerate(joins):
+        s = s_list[k]
+        p = jp_l[k]
+        rp = jrp_l[k]
+        flush(p, rp)
+        wi = jw_l[k]
+        best = wi
+        best_pred = -1
+        if rp > 0:
+            prev = int(idxs_by_proc[p][rp - 1])
+            cand = float(dist[prev]) + wi
+            if cand > best:
+                best, best_pred = cand, prev
+        q = sq_l[k]
+        if srp_l[k] >= flushed[q]:
+            # the send's distance is still pending in q's open segment;
+            # every q-row up to it is join-free (joins are processed in
+            # ascending trace order), so flushing through it is exact
+            flush(q, srp_l[k] + 1)
+        cand = float(dist[s]) + wi
+        if cand > best:
+            best, best_pred = cand, s
+        dist[i] = best
+        pred[i] = best_pred
+        tail[p] = best
+        flushed[p] = rp + 1
+    for p in range(nprocs):
+        flush(p, idxs_by_proc[p].size)
+
+    end = int(np.argmax(dist))  # first maximum, same as the scalar max()
+    path = []
+    i = end
+    while i >= 0:
+        path.append(trace[i])
+        i = int(pred[i])
+    path.reverse()
+    t_lo, t_hi = idx.span
+    return CriticalPath(
+        records=path,
+        length=float(dist[end]),
+        span=t_hi - t_lo,
+        weights=[float(w[rec.index]) for rec in path],
     )
 
 

@@ -123,28 +123,39 @@ def analyze_frontiers(
         order = idx.order
     event = trace[event_index]
 
-    past = set(order.past(event_index))
-    future = set(order.future(event_index))
+    past = order.past(event_index)  # ascending trace indexes
+    future = order.future(event_index)
+
+    # Frontier members per process in two scatter assignments: ascending
+    # past indexes overwrite, so each slot keeps the *latest* past event;
+    # future is scattered in reverse so each slot keeps the *earliest*.
+    nprocs = trace.nprocs
+    proc_col = idx.column("proc")
+    last_past = np.full(nprocs, -1, dtype=np.int64)
+    last_past[proc_col[past]] = past
+    first_future = np.full(nprocs, -1, dtype=np.int64)
+    rev = future[::-1]
+    first_future[proc_col[rev]] = rev
 
     past_frontier = Frontier()
     future_frontier = Frontier()
-    for p in range(trace.nprocs):
-        rows = idx.by_proc(p)
-        last_past = None
-        first_future = None
-        for rec in rows:
-            if rec.index in past:
-                last_past = rec  # rows are program-ordered: keep latest
-            if first_future is None and rec.index in future:
-                first_future = rec
-        past_frontier.events[p] = last_past
-        future_frontier.events[p] = first_future
+    for p in range(nprocs):
+        i, j = int(last_past[p]), int(first_future[p])
+        past_frontier.events[p] = trace[i] if i >= 0 else None
+        future_frontier.events[p] = trace[j] if j >= 0 else None
+
+    # concurrency region = everything in neither closure (reuses the two
+    # closures just computed instead of re-deriving them)
+    mask = np.ones(len(trace), dtype=bool)
+    mask[past] = False
+    mask[future] = False
+    mask[event_index] = False
 
     return FrontierAnalysis(
         event=event,
         past_frontier=past_frontier,
         future_frontier=future_frontier,
-        concurrency_indexes=list(order.concurrency_region(event_index)),
+        concurrency_indexes=np.nonzero(mask)[0].tolist(),
         order=order,
     )
 

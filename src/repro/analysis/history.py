@@ -10,15 +10,35 @@ Okita et al.'s scalable trace analysis both argue the opposite
 structure: *one* incrementally-maintained derived-state container that
 all debugging activities consume.  That container is this class.
 
+Storage is **columnar**: alongside the record list the index keeps the
+fixed-width fields (``index/proc/kind/src/dst/tag/seq/t0/t1/marker/
+size``) as incrementally-grown numpy arrays (amortized doubling),
+appended per record in :meth:`extend` and bulk-copied from a decoded
+:class:`~repro.trace.columnar.ColumnBlock` in :meth:`extend_columns`.
+The hot kernels run on these columns as batched array operations:
+
+* vector clocks -- only receive-join events are touched in Python; the
+  segments between joins are filled by broadcast (O(messages*p) array
+  work instead of O(n*p) Python iterations);
+* message matching -- one ``np.lexsort`` grouping over the
+  (src, dst, tag, seq) key columns instead of a per-record dict loop;
+* :meth:`window` -- a sorted-t0 interval index answered with
+  ``searchsorted`` instead of a full list scan.
+
+The scalar per-record implementations remain as *reference kernels*,
+selectable with ``engine="python"`` and property-tested equal to the
+vectorized defaults (``tests/property/test_analysis_kernels_properties``);
+``benchmarks/test_analysis_kernels.py`` gates the speedup.
+
 Maintenance is incremental with a lazy catch-up discipline:
 
 * :meth:`extend` (fed by an :class:`IndexSink` on the TraceBus) appends
   the record and updates the O(1) components eagerly -- program-order
-  rows, the (proc, marker) lookup table, the span;
-* the expensive components -- vector clocks and message matching --
-  keep a high-water mark and, on first access after new records
-  arrived, fold in only the suffix (amortized O(p) per record).  They
-  are never rebuilt from scratch once built, which is what
+  rows, the (proc, marker) lookup table, the span, the columns;
+* the expensive components -- vector clocks, message matching, the
+  window index -- keep a high-water mark and, on first access after new
+  records arrived, fold in only the suffix.  They are never rebuilt
+  from scratch once built (in either engine), which is what
   ``stats().clock_builds == 1`` asserts.
 
 Generation discipline: an index belongs to one execution.  When
@@ -48,7 +68,8 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.trace.events import TraceRecord
+from repro.trace.columnar import DEFAULT_KIND_TABLE, KIND_CODES, kind_code_lut
+from repro.trace.events import RECV_KINDS, SEND_KINDS, TraceRecord
 from repro.trace.sinks import TraceSink
 from repro.trace.trace import MessagePair, Trace, ensure_trace
 
@@ -64,6 +85,35 @@ class StaleIndexError(RuntimeError):
     """A query hit an index whose execution generation was discarded."""
 
 
+#: the index's column-store layout: every fixed-width field an analysis
+#: kernel touches.  dtypes mirror the v3 file's COLUMN_SPEC so
+#: ``extend_columns`` copies block columns without a cast.
+STORE_SPEC: tuple[tuple[str, str], ...] = (
+    ("index", "<i8"),
+    ("proc", "<i4"),
+    ("kind", "u1"),
+    ("src", "<i4"),
+    ("dst", "<i4"),
+    ("tag", "<i4"),
+    ("seq", "<i8"),
+    ("t0", "<f8"),
+    ("t1", "<f8"),
+    ("marker", "<i8"),
+    ("size", "<i8"),
+)
+
+#: kind codes (shared with the v3 file format) of message operations
+SEND_CODES: np.ndarray = np.array(
+    sorted(KIND_CODES[k] for k in SEND_KINDS), dtype=np.uint8
+)
+RECV_CODES: np.ndarray = np.array(
+    sorted(KIND_CODES[k] for k in RECV_KINDS), dtype=np.uint8
+)
+_RECV_CODE = int(RECV_CODES[0])  # RECV is the single receive-side kind
+
+ENGINES = ("numpy", "python")
+
+
 @dataclass
 class IndexStats:
     """Observability snapshot of one index's build/extend economics.
@@ -73,9 +123,13 @@ class IndexStats:
     ``*_extends`` counts records folded in incrementally;
     ``*_seconds`` is wall-clock spent deriving; ``hits``/``misses``
     count memoized-component lookups per component name.
+    ``kernel_calls``/``kernel_seconds`` count the analysis kernels that
+    consume the index without owning state in it (race detection,
+    critical path), keyed by ``"name[engine]"``.
     """
 
     generation: int = 0
+    engine: str = "numpy"
     records: int = 0
     clock_builds: int = 0
     clock_extends: int = 0
@@ -83,9 +137,14 @@ class IndexStats:
     matching_builds: int = 0
     matching_extends: int = 0
     matching_seconds: float = 0.0
+    window_builds: int = 0
+    window_extends: int = 0
+    window_seconds: float = 0.0
     trace_snapshots: int = 0
     hits: dict = field(default_factory=dict)
     misses: dict = field(default_factory=dict)
+    kernel_calls: dict = field(default_factory=dict)
+    kernel_seconds: dict = field(default_factory=dict)
 
     def hit(self, component: str) -> None:
         self.hits[component] = self.hits.get(component, 0) + 1
@@ -93,9 +152,14 @@ class IndexStats:
     def miss(self, component: str) -> None:
         self.misses[component] = self.misses.get(component, 0) + 1
 
+    def kernel(self, name: str, seconds: float) -> None:
+        self.kernel_calls[name] = self.kernel_calls.get(name, 0) + 1
+        self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + seconds
+
     def snapshot(self) -> "IndexStats":
         return IndexStats(
             generation=self.generation,
+            engine=self.engine,
             records=self.records,
             clock_builds=self.clock_builds,
             clock_extends=self.clock_extends,
@@ -103,23 +167,36 @@ class IndexStats:
             matching_builds=self.matching_builds,
             matching_extends=self.matching_extends,
             matching_seconds=self.matching_seconds,
+            window_builds=self.window_builds,
+            window_extends=self.window_extends,
+            window_seconds=self.window_seconds,
             trace_snapshots=self.trace_snapshots,
             hits=dict(self.hits),
             misses=dict(self.misses),
+            kernel_calls=dict(self.kernel_calls),
+            kernel_seconds=dict(self.kernel_seconds),
         )
 
     def as_text(self) -> str:
         lines = [
             f"history index stats (generation {self.generation}, "
-            f"{self.records} records)",
+            f"{self.records} records, engine={self.engine})",
             f"  vector clocks : {self.clock_builds} build(s), "
             f"{self.clock_extends} record(s) folded, "
             f"{self.clock_seconds * 1e3:.2f} ms",
             f"  matching      : {self.matching_builds} build(s), "
             f"{self.matching_extends} record(s) folded, "
             f"{self.matching_seconds * 1e3:.2f} ms",
+            f"  window index  : {self.window_builds} build(s), "
+            f"{self.window_extends} record(s) folded, "
+            f"{self.window_seconds * 1e3:.2f} ms",
             f"  trace snapshots: {self.trace_snapshots}",
         ]
+        for name in sorted(self.kernel_calls):
+            lines.append(
+                f"  kernel {name:<15s}: {self.kernel_calls[name]} call(s), "
+                f"{self.kernel_seconds.get(name, 0.0) * 1e3:.2f} ms"
+            )
         for name in sorted(set(self.hits) | set(self.misses)):
             lines.append(
                 f"  {name:<13s} : {self.hits.get(name, 0)} hit(s), "
@@ -137,8 +214,18 @@ class HistoryIndex:
     * ``message_pairs()`` / ``unmatched_sends()`` / ``unmatched_recvs()``
       / ``send_of_recv`` -- send/receive matching;
     * ``by_proc(p)`` -- per-process program-order rows;
-    * ``span`` / ``record_at_marker()`` -- span and marker lookup;
+    * ``span`` / ``record_at_marker()`` / ``window()`` -- span, marker
+      and time-window lookup;
+    * ``column(name)`` / ``columns`` -- the structure-of-arrays view of
+      the indexed records, the substrate the vectorized kernels (and
+      columnar consumers such as race detection and the critical-path
+      DP) run on;
     * ``blocked`` -- the runtime's blocked-wait snapshot, when supplied.
+
+    ``engine`` selects the kernel implementations: ``"numpy"`` (default)
+    runs the vectorized clock/matching/window kernels over the column
+    store; ``"python"`` runs the scalar per-record reference kernels.
+    Both are incremental and produce identical state.
 
     ``trace`` materializes (and memoizes) an immutable
     :class:`~repro.trace.trace.Trace` view over the indexed records for
@@ -150,7 +237,10 @@ class HistoryIndex:
         records: Optional[Iterable[TraceRecord]] = None,
         nprocs: Optional[int] = None,
         generation: int = 0,
+        engine: str = "numpy",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if nprocs is None:
             if records is None:
                 raise ValueError("need nprocs when starting from an empty stream")
@@ -160,8 +250,14 @@ class HistoryIndex:
                 nprocs = max(nprocs, rec.proc + 1, rec.src + 1, rec.dst + 1)
         self.nprocs = max(1, nprocs)
         self.generation = generation
+        self.engine = engine
         self._stale = False
         self._records: list[TraceRecord] = []
+        # column store (structure of arrays, amortized doubling) --------
+        self._cap = 0
+        self._cols: dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=dt) for name, dt in STORE_SPEC
+        }
         # eager O(1) components -------------------------------------------
         self._rows: list[list[TraceRecord]] = [[] for _ in range(self.nprocs)]
         self._marker_first: dict[tuple[int, int], TraceRecord] = {}
@@ -177,11 +273,15 @@ class HistoryIndex:
         self._clocked_upto = 0
         self._clocks = np.zeros((0, self.nprocs), dtype=np.int64)
         self._current = np.zeros((self.nprocs, self.nprocs), dtype=np.int64)
+        # window interval index (lazy catch-up) ---------------------------
+        self._window_upto = 0
+        self._t0_order: Optional[np.ndarray] = None
+        self._t0_sorted: Optional[np.ndarray] = None
         # memoized views ---------------------------------------------------
         self._trace: Optional[Trace] = None
         self._order: Optional[CausalOrder] = None
         self._blocked: Optional[list["WaitInfo"]] = None
-        self._stats = IndexStats(generation=generation)
+        self._stats = IndexStats(generation=generation, engine=engine)
         if records is not None:
             self.extend_many(records)
 
@@ -189,17 +289,23 @@ class HistoryIndex:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_trace(cls, trace: Trace, generation: int = 0) -> "HistoryIndex":
+    def from_trace(
+        cls, trace: Trace, generation: int = 0, engine: str = "numpy"
+    ) -> "HistoryIndex":
         """Index an existing immutable trace (the batch entry point).
 
         When the trace's record indexes are already positional the trace
         object itself becomes the index's materialized view, so
         trace-level caches (``by_proc`` and friends) are shared rather
-        than duplicated.
+        than duplicated.  The positional check rides along the single
+        ingest pass.
         """
-        index = cls(nprocs=trace.nprocs, generation=generation)
-        positional = all(rec.index == k for k, rec in enumerate(trace))
-        index.extend_many(trace)
+        index = cls(nprocs=trace.nprocs, generation=generation, engine=engine)
+        positional = True
+        for pos, rec in enumerate(trace):
+            if positional and rec.index != pos:
+                positional = False
+            index.extend(rec)
         if positional:
             index._trace = trace
             index._stats.trace_snapshots += 1
@@ -207,7 +313,7 @@ class HistoryIndex:
 
     @classmethod
     def from_file(
-        cls, reader: "TraceFileReader", generation: int = 0
+        cls, reader: "TraceFileReader", generation: int = 0, engine: str = "numpy"
     ) -> "HistoryIndex":
         """Index a trace file through the bulk columnar path.
 
@@ -215,7 +321,7 @@ class HistoryIndex:
         ingested column-wise (no per-record JSON parsing); v1/v2 files
         bridge through the record path transparently.
         """
-        index = cls(nprocs=reader.nprocs, generation=generation)
+        index = cls(nprocs=reader.nprocs, generation=generation, engine=engine)
         index.extend_columns(reader.read_columns())
         return index
 
@@ -244,22 +350,76 @@ class HistoryIndex:
             )
 
     # ------------------------------------------------------------------
+    # column store plumbing
+    # ------------------------------------------------------------------
+    def _grow(self, need: int) -> None:
+        if need <= self._cap:
+            return
+        new_cap = max(64, need, 2 * self._cap)
+        n = len(self._records)
+        for name, dt in STORE_SPEC:
+            buf = np.empty(new_cap, dtype=dt)
+            buf[:n] = self._cols[name][:n]
+            self._cols[name] = buf
+        self._cap = new_cap
+
+    def column(self, name: str) -> np.ndarray:
+        """One column of the store, trimmed to the indexed length.
+
+        The returned array is a live view: it reflects (and is
+        invalidated by) subsequent extensions.  ``index`` is positional,
+        ``kind`` holds :data:`~repro.trace.columnar.KIND_CODES` codes.
+        """
+        self._check_live()
+        return self._cols[name][: len(self._records)]
+
+    @property
+    def columns(self) -> dict[str, np.ndarray]:
+        """All store columns, trimmed to the indexed length."""
+        self._check_live()
+        n = len(self._records)
+        return {name: self._cols[name][:n] for name, _ in STORE_SPEC}
+
+    # ------------------------------------------------------------------
     # extension (the IndexSink feed)
     # ------------------------------------------------------------------
     def extend(self, record: TraceRecord) -> None:
         """Fold one record in: O(1) now, amortized O(p) once the clock
-        and matching components catch up to it."""
+        and matching components catch up to it.
+
+        Raises :class:`ValueError` for a record whose ``proc`` falls
+        outside ``[0, nprocs)`` -- such a record would silently vanish
+        from the per-process rows and every clock/matching kernel.
+        """
         self._check_live()
+        if not 0 <= record.proc < self.nprocs:
+            raise ValueError(
+                f"record {record.index} has proc {record.proc} outside "
+                f"[0, {self.nprocs}); the index cannot place it"
+            )
         pos = len(self._records)
         if record.index != pos:
             # windowed / ring-buffer streams have sparse global indexes;
             # positional invariants (clock rows, path DP) need re-indexed
             # copies, same as ensure_trace.
             record = replace(record, index=pos)
+        if self._cap <= pos:
+            self._grow(pos + 1)
         self._records.append(record)
-        if 0 <= record.proc < self.nprocs:
-            self._rows[record.proc].append(record)
-            self._marker_first.setdefault((record.proc, record.marker), record)
+        cols = self._cols
+        cols["index"][pos] = pos
+        cols["proc"][pos] = record.proc
+        cols["kind"][pos] = KIND_CODES[record.kind]
+        cols["src"][pos] = record.src
+        cols["dst"][pos] = record.dst
+        cols["tag"][pos] = record.tag
+        cols["seq"][pos] = record.seq
+        cols["t0"][pos] = record.t0
+        cols["t1"][pos] = record.t1
+        cols["marker"][pos] = record.marker
+        cols["size"][pos] = record.size
+        self._rows[record.proc].append(record)
+        self._marker_first.setdefault((record.proc, record.marker), record)
         if self._t_lo is None or record.t0 < self._t_lo:
             self._t_lo = record.t0
         if self._t_hi is None or record.t1 > self._t_hi:
@@ -277,31 +437,54 @@ class HistoryIndex:
         """Bulk-ingest one decoded columnar block (the
         :meth:`TraceFileReader.read_columns` feed).
 
-        Equivalent to ``extend_many(block.to_records())`` but updates
-        the span from the block's time columns in one vectorized step
-        and re-indexes positionally by mutating the freshly
-        materialized records in place instead of copying each one.
+        Equivalent to ``extend_many(block.to_records())`` but feeds the
+        column store with vectorized slice copies straight from the
+        block's arrays (no per-record field stores), updates the span
+        from the block's time columns in one step, and re-indexes
+        positionally by mutating the freshly materialized records in
+        place instead of copying each one.
         """
         self._check_live()
         n = len(block)
         if n == 0:
             return 0
-        records = block.to_records()
+        bcols = block.columns
+        nprocs = self.nprocs
+        bproc = bcols["proc"]
+        bad = (bproc < 0) | (bproc >= nprocs)
+        if bad.any():
+            culprit = int(bproc[int(np.argmax(bad))])
+            raise ValueError(
+                f"column block contains proc {culprit} outside "
+                f"[0, {nprocs}); the index cannot place it"
+            )
         pos = len(self._records)
+        # columns: one vectorized copy per field --------------------------
+        self._grow(pos + n)
+        cols = self._cols
+        sl = slice(pos, pos + n)
+        cols["index"][sl] = np.arange(pos, pos + n, dtype=np.int64)
+        kind_codes = bcols["kind"]
+        if block.kind_table != DEFAULT_KIND_TABLE:
+            # the block carries the *file's* kind codes; remap to ours
+            kind_codes = kind_code_lut(block.kind_table)[kind_codes]
+        cols["kind"][sl] = kind_codes
+        for name in ("proc", "src", "dst", "tag", "seq", "t0", "t1",
+                     "marker", "size"):
+            cols[name][sl] = bcols[name]
+        # records, rows, marker table -------------------------------------
+        records = block.to_records()
         rows = self._rows
         marker_first = self._marker_first
-        nprocs = self.nprocs
         for rec in records:
             if rec.index != pos:
                 rec.index = pos  # to_records() objects are ours to mutate
             pos += 1
-            p = rec.proc
-            if 0 <= p < nprocs:
-                rows[p].append(rec)
-                marker_first.setdefault((p, rec.marker), rec)
+            rows[rec.proc].append(rec)
+            marker_first.setdefault((rec.proc, rec.marker), rec)
         self._records.extend(records)
-        t_lo = float(block.columns["t0"].min())
-        t_hi = float(block.columns["t1"].max())
+        t_lo = float(bcols["t0"].min())
+        t_hi = float(bcols["t1"].max())
         if self._t_lo is None or t_lo < self._t_lo:
             self._t_lo = t_lo
         if self._t_hi is None or t_hi > self._t_hi:
@@ -341,10 +524,57 @@ class HistoryIndex:
         self._check_live()
         return self._marker_first.get((proc, marker))
 
+    # ------------------------------------------------------------------
+    # time windows (the zoom-rescan primitive)
+    # ------------------------------------------------------------------
+    def _ensure_window_index(self) -> None:
+        n = len(self._records)
+        if self._t0_order is not None and self._window_upto >= n:
+            self._stats.hit("window")
+            return
+        self._stats.miss("window")
+        start = time.perf_counter()
+        lo = self._window_upto
+        t0 = self._cols["t0"]
+        if self._t0_order is None or lo == 0:
+            self._stats.window_builds += 1
+            order = np.argsort(t0[:n], kind="stable").astype(np.int64)
+            self._t0_order = order
+            self._t0_sorted = t0[:n][order]
+        else:
+            # merge the sorted suffix into the existing order (ties keep
+            # trace order: suffix indexes are all larger, insert after)
+            suf = t0[lo:n]
+            suf_order = np.argsort(suf, kind="stable").astype(np.int64) + lo
+            suf_sorted = t0[suf_order]
+            at = np.searchsorted(self._t0_sorted, suf_sorted, side="right")
+            self._t0_order = np.insert(self._t0_order, at, suf_order)
+            self._t0_sorted = np.insert(self._t0_sorted, at, suf_sorted)
+        self._window_upto = n
+        self._stats.window_extends += n - lo
+        self._stats.window_seconds += time.perf_counter() - start
+
     def window(self, t_lo: float, t_hi: float) -> list[TraceRecord]:
-        """Records overlapping [t_lo, t_hi] (the zoom-rescan primitive)."""
+        """Records overlapping [t_lo, t_hi], in trace order.
+
+        The numpy engine serves this from a sorted-t0 interval index:
+        ``searchsorted`` bounds the candidates with ``t0 <= t_hi``, one
+        vectorized compare keeps those with ``t1 >= t_lo``.  The python
+        engine is the reference full scan.
+        """
         self._check_live()
-        return [r for r in self._records if r.t1 >= t_lo and r.t0 <= t_hi]
+        if self.engine == "python":
+            return [r for r in self._records if r.t1 >= t_lo and r.t0 <= t_hi]
+        self._ensure_window_index()
+        n = len(self._records)
+        if n == 0:
+            return []
+        k = int(np.searchsorted(self._t0_sorted, t_hi, side="right"))
+        cand = self._t0_order[:k]
+        sel = cand[self._cols["t1"][cand] >= t_lo]
+        sel = np.sort(sel)
+        records = self._records
+        return [records[i] for i in sel.tolist()]
 
     # ------------------------------------------------------------------
     # message matching
@@ -359,7 +589,17 @@ class HistoryIndex:
         if self._matched_upto == 0:
             self._stats.matching_builds += 1
         lo = self._matched_upto
-        for rec in self._records[lo:]:
+        if self.engine == "python":
+            self._match_suffix_python(lo, n)
+        else:
+            self._match_suffix_numpy(lo, n)
+        self._matched_upto = n
+        self._stats.matching_extends += n - lo
+        self._stats.matching_seconds += time.perf_counter() - start
+
+    def _match_suffix_python(self, lo: int, n: int) -> None:
+        """Reference kernel: the per-record dict loop."""
+        for rec in self._records[lo:n]:
             if rec.is_send:
                 self._open_sends[rec.message_key()] = rec
             elif rec.is_recv:
@@ -369,9 +609,110 @@ class HistoryIndex:
                 else:
                     self._pairs.append(MessagePair(send, rec))
                     self._send_of_recv[rec.index] = send.index
-        self._matched_upto = n
-        self._stats.matching_extends += n - lo
-        self._stats.matching_seconds += time.perf_counter() - start
+
+    def _match_suffix_numpy(self, lo: int, n: int) -> None:
+        """Vectorized kernel: lexsort-group the (src, dst, tag, seq) key
+        columns, pair each group's send with its receive.
+
+        Sends still open from earlier catch-ups join the sort as
+        carried-in events (their record indexes precede the suffix), so
+        incremental state is exact.  Groups with at most one send and
+        one receive -- every key under MPI non-overtaking -- are paired
+        by pure array ops; pathological duplicate-key groups fall back
+        to the reference slot walk per group.
+        """
+        cols = self._cols
+        kind = cols["kind"][lo:n]
+        send_rel = np.nonzero(np.isin(kind, SEND_CODES))[0]
+        recv_rel = np.nonzero(kind == _RECV_CODE)[0]
+        records = self._records
+        if recv_rel.size == 0:
+            for i in (send_rel + lo).tolist():
+                rec = records[i]
+                self._open_sends[rec.message_key()] = rec
+            return
+        carry = np.fromiter(
+            (rec.index for rec in self._open_sends.values()),
+            dtype=np.int64,
+            count=len(self._open_sends),
+        )
+        m_s = carry.size + send_rel.size
+        evt = np.concatenate([carry, send_rel + lo, recv_rel + lo])
+        src = cols["src"][evt]
+        dst = cols["dst"][evt]
+        tag = cols["tag"][evt]
+        seq = cols["seq"][evt]
+        order = np.lexsort((evt, seq, tag, dst, src))
+        sc, dc, tc, qc = src[order], dst[order], tag[order], seq[order]
+        boundary = np.empty(evt.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (
+            (sc[1:] != sc[:-1])
+            | (dc[1:] != dc[:-1])
+            | (tc[1:] != tc[:-1])
+            | (qc[1:] != qc[:-1])
+        )
+        ngroups = int(boundary.sum())
+        gid = np.empty(evt.size, dtype=np.int64)
+        gid[order] = np.cumsum(boundary) - 1
+        send_gid, recv_gid = gid[:m_s], gid[m_s:]
+        s_cnt = np.bincount(send_gid, minlength=ngroups)
+        r_cnt = np.bincount(recv_gid, minlength=ngroups)
+        simple = (s_cnt <= 1) & (r_cnt <= 1)
+        s_of = np.full(ngroups, -1, dtype=np.int64)
+        s_of[send_gid] = evt[:m_s]
+        r_of = np.full(ngroups, -1, dtype=np.int64)
+        r_of[recv_gid] = evt[m_s:]
+        paired = simple & (s_of >= 0) & (r_of >= 0) & (s_of < r_of)
+        new_pairs = list(zip(s_of[paired].tolist(), r_of[paired].tolist()))
+        unmatched = r_of[simple & (r_of >= 0) & ~paired].tolist()
+        opened = s_of[simple & (s_of >= 0) & ~paired].tolist()
+        consumed: list[int] = [s for s, _ in new_pairs if s < lo]
+        # duplicate-key groups: reference slot semantics, per group ----
+        cplx = np.nonzero(~simple)[0]
+        if cplx.size:
+            corder = np.lexsort((evt, gid))
+            g_sorted = gid[corder]
+            starts = np.searchsorted(g_sorted, cplx, side="left")
+            ends = np.searchsorted(g_sorted, cplx, side="right")
+            is_recv_flag = np.zeros(evt.size, dtype=bool)
+            is_recv_flag[m_s:] = True
+            for a, b in zip(starts.tolist(), ends.tolist()):
+                slot = -1
+                group = corder[a:b]
+                first = int(evt[group[0]])
+                for j in group.tolist():
+                    e = int(evt[j])
+                    if is_recv_flag[j]:
+                        if slot >= 0:
+                            new_pairs.append((slot, e))
+                            slot = -1
+                        else:
+                            unmatched.append(e)
+                    else:
+                        slot = e
+                if slot >= 0:
+                    opened.append(slot)
+                elif first < lo:
+                    # the group consumed (or overwrote away) its carried
+                    # open send; drop its key below
+                    consumed.append(first)
+        # fold results into the incremental state ----------------------
+        open_sends = self._open_sends
+        for s in consumed:
+            del open_sends[records[s].message_key()]
+        for i in opened:
+            if i >= lo:  # carried sends that stayed open are already there
+                rec = records[i]
+                open_sends[rec.message_key()] = rec
+        new_pairs.sort(key=lambda p: p[1])
+        send_of_recv = self._send_of_recv
+        pairs = self._pairs
+        for s, r in new_pairs:
+            pairs.append(MessagePair(records[s], records[r]))
+            send_of_recv[r] = s
+        unmatched.sort()
+        self._unmatched_recvs.extend(records[i] for i in unmatched)
 
     def message_pairs(self) -> list[MessagePair]:
         """All matched (send, recv) pairs, in receive order."""
@@ -383,7 +724,7 @@ class HistoryIndex:
         """Sends whose message was never received, in trace order."""
         self._check_live()
         self._ensure_matching()
-        return list(self._open_sends.values())
+        return sorted(self._open_sends.values(), key=lambda r: r.index)
 
     def unmatched_recvs(self) -> list[TraceRecord]:
         """Receives with no matching send in the indexed history."""
@@ -417,10 +758,20 @@ class HistoryIndex:
             grown[: self._clocks.shape[0]] = self._clocks
             self._clocks = grown
         lo = self._clocked_upto
+        if self.engine == "python":
+            self._clocks_suffix_python(lo, n)
+        else:
+            self._clocks_suffix_numpy(lo, n)
+        self._clocked_upto = n
+        self._stats.clock_extends += n - lo
+        self._stats.clock_seconds += time.perf_counter() - start
+
+    def _clocks_suffix_python(self, lo: int, n: int) -> None:
+        """Reference kernel: one Python iteration per record."""
         clocks = self._clocks
         current = self._current
         send_of_recv = self._send_of_recv
-        for rec in self._records[lo:]:
+        for rec in self._records[lo:n]:
             p = rec.proc
             row = current[p]
             row[p] += 1
@@ -428,9 +779,112 @@ class HistoryIndex:
             if s is not None:
                 np.maximum(row, clocks[s], out=row)
             clocks[rec.index] = row
-        self._clocked_upto = n
-        self._stats.clock_extends += n - lo
-        self._stats.clock_seconds += time.perf_counter() - start
+
+    def _clocks_suffix_numpy(self, lo: int, n: int) -> None:
+        """Vectorized kernel: Python touches only receive-join events.
+
+        A process's clock changes its *own* component at every event but
+        its other components only at receive joins, so each per-process
+        row splits into segments delimited by joins: within a segment
+        every clock row equals the segment base except the own column,
+        which is a running count.  The kernel walks the joins in trace
+        order maintaining the per-process running bases as plain Python
+        lists (length p -- no numpy-call overhead inside the loop) and
+        collects each new segment base into a per-process table; the
+        clock matrix is then written in two bulk operations per process
+        -- one ``B[segment_id]`` gather for the inter-join broadcasts,
+        one global scatter for the own-component counters.
+
+        ``self._current`` keeps the scalar kernel's invariant between
+        catch-ups -- row p is the clock after p's last indexed event --
+        so the two engines' persistent state is interchangeable.
+        """
+        from bisect import bisect_right
+
+        cols = self._cols
+        nprocs = self.nprocs
+        clocks = self._clocks
+        current = self._current
+        m = n - lo
+        proc_sub = cols["proc"][lo:n]
+        kind_sub = cols["kind"][lo:n]
+        order = np.argsort(proc_sub, kind="stable")
+        bounds = np.searchsorted(proc_sub[order], np.arange(nprocs + 1))
+        idxs_by_proc = [order[bounds[p]: bounds[p + 1]] for p in range(nprocs)]
+        counts0 = [int(current[p, p]) for p in range(nprocs)]
+        own_abs = np.empty(m, dtype=np.int64)
+        for p in range(nprocs):
+            rows = idxs_by_proc[p]
+            own_abs[rows] = counts0[p] + np.arange(
+                1, rows.size + 1, dtype=np.int64
+            )
+        # matched joins of the suffix, in trace order, with the scalar
+        # reads the loop needs gathered up front (no full-column tolist)
+        send_map = self._send_of_recv
+        recv_rels = np.nonzero(kind_sub == _RECV_CODE)[0]
+        sends = [send_map.get(int(i) + lo) for i in recv_rels]
+        keep = [k for k, s in enumerate(sends) if s is not None]
+        i_rels = recv_rels[keep].tolist() if keep else []
+        s_abs = [sends[k] for k in keep]
+        own_i_l = own_abs[recv_rels[keep]].tolist() if keep else []
+        p_l = proc_sub[recv_rels[keep]].tolist() if keep else []
+        s_rel_arr = np.asarray([s - lo for s in s_abs], dtype=np.int64)
+        in_suffix = [s >= lo for s in s_abs]
+        own_s_l = np.where(
+            s_rel_arr >= 0, own_abs[np.maximum(s_rel_arr, 0)], 0
+        ).tolist() if keep else []
+        q_l = proc_sub[np.maximum(s_rel_arr, 0)].tolist() if keep else []
+        # per-process running base (non-own components) + segment tables
+        base = [current[p].tolist() for p in range(nprocs)]
+        seg_bases: list[list[list[int]]] = [[base[p][:]] for p in range(nprocs)]
+        join_rows: list[list[int]] = [[] for _ in range(nprocs)]
+        for k in range(len(i_rels)):
+            own_i = own_i_l[k]
+            p = p_l[k]
+            bp = base[p]
+            if in_suffix[k]:
+                q = q_l[k]
+                # the send's segment: last join of q at or before its row
+                rel_row = own_s_l[k] - 1 - counts0[q]
+                sc = seg_bases[q][bisect_right(join_rows[q], rel_row)]
+                bp = [a if a >= b else b for a, b in zip(bp, sc)]
+                v = own_s_l[k]  # the send's own component
+                if v > bp[q]:
+                    bp[q] = v
+            else:
+                # prior-batch send: its clock row is already final
+                sc = clocks[s_abs[k]].tolist()
+                bp = [a if a >= b else b for a, b in zip(bp, sc)]
+            bp[p] = own_i
+            base[p] = bp  # the old list stays frozen in its segment table
+            join_rows[p].append(own_i - 1 - counts0[p])
+            seg_bases[p].append(bp)
+        # bulk fill: global segment ids -> one contiguous gather, then
+        # one scatter for the own-component counters -----------------
+        gid = np.empty(m, dtype=np.int64)
+        offset = 0
+        tables = []
+        for p in range(nprocs):
+            rows = idxs_by_proc[p]
+            tables.extend(seg_bases[p])
+            if rows.size:
+                if join_rows[p]:
+                    gid[rows] = offset + np.searchsorted(
+                        np.asarray(join_rows[p], dtype=np.int64),
+                        np.arange(rows.size, dtype=np.int64),
+                        side="right",
+                    )
+                else:
+                    gid[rows] = offset
+            offset += len(seg_bases[p])
+            current[p] = base[p]
+            current[p, p] = counts0[p] + rows.size
+        table_all = np.asarray(tables, dtype=np.int64)
+        # gid is in [0, len(tables)) by construction; "clip" skips the
+        # bounds pass, and writing straight into the matrix avoids a
+        # second (n x p)-sized temporary
+        table_all.take(gid, axis=0, mode="clip", out=clocks[lo:n])
+        clocks[np.arange(lo, n), proc_sub] = own_abs
 
     @property
     def clocks(self) -> np.ndarray:
@@ -452,12 +906,23 @@ class HistoryIndex:
         trace = self.trace
         if self._order is None or self._order.trace is not trace:
             self._stats.miss("order")
+            n = len(self._records)
             self._order = CausalOrder(
-                trace=trace, clocks=self._clocks[: len(self._records)]
+                trace=trace,
+                clocks=self._clocks[:n],
+                procs=self._cols["proc"][:n].astype(np.int64),
             )
         else:
             self._stats.hit("order")
         return self._order
+
+    # ------------------------------------------------------------------
+    # kernel observability (races, critical path, ... report here)
+    # ------------------------------------------------------------------
+    def record_kernel(self, name: str, seconds: float) -> None:
+        """Attribute one analysis-kernel invocation to this index's
+        stats (surfaced by the debugger ``stats`` command)."""
+        self._stats.kernel(name, seconds)
 
     # ------------------------------------------------------------------
     # trace view
@@ -520,6 +985,7 @@ def ensure_index(
     source: "HistoryIndex | Trace | Iterable[TraceRecord]",
     nprocs: Optional[int] = None,
     index: Optional[HistoryIndex] = None,
+    engine: str = "numpy",
 ) -> HistoryIndex:
     """Coerce anything history-shaped into a shared :class:`HistoryIndex`.
 
@@ -527,6 +993,7 @@ def ensure_index(
     passes through; a :class:`Trace` gets an index memoized *on the
     trace object*, so repeated analyses over the same trace share one
     derivation; any other record iterable is materialized first.
+    ``engine`` applies only when a new index is built here.
     """
     if index is not None:
         return index
@@ -537,6 +1004,6 @@ def ensure_index(
     cached = getattr(source, "_history_index", None)
     if cached is not None and not cached.stale:
         return cached
-    built = HistoryIndex.from_trace(source)
+    built = HistoryIndex.from_trace(source, engine=engine)
     bind_trace_index(source, built)
     return built

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
+import numpy as np
+
 from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
 from repro.mp.process import WaitInfo, WaitKind
 from repro.trace.events import TraceRecord
@@ -122,18 +124,27 @@ def find_intertwined(
         by_route.setdefault((p.send.src, p.send.dst), []).append(p)
     for route_pairs in by_route.values():
         route_pairs.sort(key=lambda p: p.send.t1)
-        for i in range(len(route_pairs)):
-            for j in range(i + 1, len(route_pairs)):
-                a, b = route_pairs[i], route_pairs[j]
-                if a.recv.t1 > b.recv.t1:
-                    out.append(
-                        IntertwinedPair(
-                            first_send=a.send,
-                            second_send=b.send,
-                            first_recv=a.recv,
-                            second_recv=b.recv,
-                        )
-                    )
+        k = len(route_pairs)
+        if k < 2:
+            continue
+        # inversion pairs in one broadcast compare: after the send-order
+        # sort, (i, j) is intertwined iff i < j but recv_t1[i] > recv_t1[j].
+        # np.nonzero walks row-major, preserving the (i asc, j asc) order
+        # of the scalar double loop.
+        recv_t1 = np.fromiter(
+            (p.recv.t1 for p in route_pairs), dtype=np.float64, count=k
+        )
+        inverted = np.triu(recv_t1[:, None] > recv_t1[None, :], 1)
+        for i, j in zip(*(arr.tolist() for arr in np.nonzero(inverted))):
+            a, b = route_pairs[i], route_pairs[j]
+            out.append(
+                IntertwinedPair(
+                    first_send=a.send,
+                    second_send=b.send,
+                    first_recv=a.recv,
+                    second_recv=b.recv,
+                )
+            )
     return out
 
 

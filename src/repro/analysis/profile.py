@@ -154,20 +154,22 @@ def communication_matrix(
     """
     from repro.mp.datatypes import COLLECTIVE_TAG_BASE
 
-    from .history import ensure_index
+    from .history import SEND_CODES, ensure_index
 
-    trace = ensure_index(trace, index=index).trace
-    counts = np.zeros((trace.nprocs, trace.nprocs), dtype=np.int64)
+    idx = ensure_index(trace, index=index)
+    nprocs = idx.nprocs
+    cols = idx.columns
+    counts = np.zeros((nprocs, nprocs), dtype=np.int64)
     volume = np.zeros_like(counts)
-    for rec in trace:
-        if not rec.is_send:
-            continue
-        if user_only and rec.tag >= COLLECTIVE_TAG_BASE:
-            continue
-        if 0 <= rec.src < trace.nprocs and 0 <= rec.dst < trace.nprocs:
-            counts[rec.src, rec.dst] += 1
-            volume[rec.src, rec.dst] += rec.size
-    return CommMatrix(trace.nprocs, counts, volume)
+    src = cols["src"]
+    dst = cols["dst"]
+    mask = np.isin(cols["kind"], SEND_CODES)
+    if user_only:
+        mask &= cols["tag"] < COLLECTIVE_TAG_BASE
+    mask &= (src >= 0) & (src < nprocs) & (dst >= 0) & (dst < nprocs)
+    np.add.at(counts, (src[mask], dst[mask]), 1)
+    np.add.at(volume, (src[mask], dst[mask]), cols["size"][mask])
+    return CommMatrix(nprocs, counts, volume)
 
 
 # ----------------------------------------------------------------------

@@ -21,8 +21,11 @@ other send could have been delivered instead.  Two detectors:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
 from repro.trace.events import TraceRecord
@@ -72,6 +75,7 @@ def detect_races(
     order: Optional[CausalOrder] = None,
     include_tag_wildcards: bool = True,
     index: "Optional[HistoryIndex]" = None,
+    engine: Optional[str] = None,
 ) -> list[MessageRace]:
     """All wildcard receives with at least one racing alternative.
 
@@ -87,10 +91,37 @@ def detect_races(
     :class:`~repro.analysis.history.HistoryIndex`: pass ``index=`` (or
     a precomputed ``order=``) when a caller already holds one; a bare
     trace memoizes the index so nothing is derived twice either way.
+
+    ``engine`` defaults to the index's engine.  The numpy kernel builds
+    one candidate mask over the send (dst, src, tag) columns per
+    wildcard receive and evaluates happens-before for *all* sends at
+    once against the clock matrix; the python kernel is the O(receives
+    x sends) per-pair reference.  Both report wall-clock into the
+    index's per-kernel stats (``races[<engine>]``).
     """
-    from .history import ensure_index
+    from .history import ENGINES, ensure_index
 
     idx = ensure_index(trace, index=index)
+    eng = engine if engine is not None else idx.engine
+    if eng not in ENGINES:
+        raise ValueError(f"unknown engine {eng!r}; expected one of {ENGINES}")
+    start = time.perf_counter()
+    try:
+        if eng == "python":
+            races = _detect_races_python(idx, order, include_tag_wildcards)
+        else:
+            races = _detect_races_numpy(idx, order, include_tag_wildcards)
+    finally:
+        idx.record_kernel(f"races[{eng}]", time.perf_counter() - start)
+    return races
+
+
+def _detect_races_python(
+    idx: "HistoryIndex",
+    order: Optional[CausalOrder],
+    include_tag_wildcards: bool,
+) -> list[MessageRace]:
+    """Reference kernel: per-pair ``happens_before`` calls."""
     trace = idx.trace
     if order is None:
         order = idx.order
@@ -119,6 +150,75 @@ def detect_races(
         if alternatives:
             races.append(
                 MessageRace(recv=rec, matched_send=matched, alternatives=alternatives)
+            )
+    return races
+
+
+def _detect_races_numpy(
+    idx: "HistoryIndex",
+    order: Optional[CausalOrder],
+    include_tag_wildcards: bool,
+) -> list[MessageRace]:
+    """Vectorized kernel over the index's column store.
+
+    Per wildcard receive ``r`` on process ``pr``, the racing-send set is
+    one boolean mask over the send columns: ``dst == pr`` (narrowed by
+    the posted source/tag when not wildcarded), minus the matched send,
+    intersected with NOT ``r -> s2``.  The happens-before test for all
+    sends at once is the standard vector-clock comparison against row
+    ``pr`` of the clock matrix: ``r -> s2`` iff
+    ``clocks[r, pr] <= clocks[s2, pr]``, so the *negation* is a single
+    ``<`` over the precomputed send-clock column.
+    """
+    from .history import RECV_CODES, SEND_CODES
+
+    trace = idx.trace
+    clocks = order.clocks if order is not None else idx.clocks
+    cols = idx.columns
+    kind = cols["kind"]
+    recv_idx = np.nonzero(kind == RECV_CODES[0])[0]
+    wildcards: list[TraceRecord] = []
+    for i in recv_idx.tolist():
+        rec = trace[i]
+        if not is_wildcard_recv(rec):
+            continue
+        psrc, _ = _posted_pattern(rec)
+        if psrc != ANY_SOURCE and not include_tag_wildcards:
+            continue
+        wildcards.append(rec)
+    if not wildcards:
+        return []
+    pairs = {p.recv.index: p.send for p in idx.message_pairs()}
+    send_idx = np.nonzero(np.isin(kind, SEND_CODES))[0]
+    if send_idx.size == 0:
+        return []
+    s_src = cols["src"][send_idx]
+    s_dst = cols["dst"][send_idx]
+    s_tag = cols["tag"][send_idx]
+    send_clocks = clocks[send_idx]
+    recs = trace.records  # one tuple grab; skips __getitem__ per alternative
+    races: list[MessageRace] = []
+    for rec in wildcards:
+        matched = pairs.get(rec.index)
+        if matched is None:
+            continue
+        psrc, ptag = _posted_pattern(rec)
+        pr = rec.proc
+        mask = s_dst == pr
+        if psrc != ANY_SOURCE:
+            mask &= s_src == psrc
+        if ptag != ANY_TAG:
+            mask &= s_tag == ptag
+        mask &= send_idx != matched.index
+        mask &= send_clocks[:, pr] < clocks[rec.index, pr]
+        alt = send_idx[mask]
+        if alt.size:
+            races.append(
+                MessageRace(
+                    recv=rec,
+                    matched_send=matched,
+                    alternatives=[recs[j] for j in alt.tolist()],
+                )
             )
     return races
 

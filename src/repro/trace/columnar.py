@@ -101,6 +101,17 @@ def kind_table_from_values(values: Optional[Sequence[str]]) -> tuple[EventKind, 
     return tuple(EventKind(v) for v in values)
 
 
+def kind_code_lut(kind_table: Sequence[EventKind]) -> "np.ndarray":
+    """A uint8 LUT mapping a block's local kind codes to the canonical
+    :data:`KIND_CODES`; ``lut[block_codes]`` re-encodes a kind column.
+
+    Columnar consumers (e.g. the analysis index's bulk-ingest path) use
+    this when a decoded block carries a file's own kind table rather
+    than the writer default.
+    """
+    return np.array([KIND_CODES[k] for k in kind_table], dtype=np.uint8)
+
+
 @dataclass
 class ColumnBlock:
     """One decoded columnar block: numpy columns + payload side tables."""
@@ -426,6 +437,7 @@ __all__: list[str] = [
     "columns_to_records",
     "decode_block",
     "encode_block",
+    "kind_code_lut",
     "kind_table_from_values",
     "peek_block",
     "records_to_columns",

@@ -201,3 +201,94 @@ def test_stale_index_refuses_queries(ring_trace):
     fresh = ensure_index(ring_trace)
     assert fresh is not index
     assert not fresh.stale
+
+
+# ----------------------------------------------------------------------
+# column store & proc validation
+# ----------------------------------------------------------------------
+def test_extend_rejects_out_of_range_proc(ring_trace):
+    from dataclasses import replace
+
+    index = HistoryIndex(nprocs=ring_trace.nprocs)
+    index.extend(ring_trace[0])
+    bad_high = replace(ring_trace[1], proc=ring_trace.nprocs)
+    with pytest.raises(ValueError, match="outside"):
+        index.extend(bad_high)
+    bad_low = replace(ring_trace[1], proc=-1)
+    with pytest.raises(ValueError, match="outside"):
+        index.extend(bad_low)
+    # the failed extends left no partial state behind
+    assert len(index) == 1
+    assert index.column("proc").tolist() == [ring_trace[0].proc]
+    index.extend(ring_trace[1])
+    assert len(index) == 2
+
+
+def test_extend_columns_rejects_out_of_range_proc(ring_trace):
+    from dataclasses import replace
+
+    from repro.trace.columnar import ColumnBlock
+
+    records = [replace(r) for r in ring_trace[:4]]
+    records[2] = replace(records[2], proc=ring_trace.nprocs + 3)
+    block = ColumnBlock.from_records(records)
+    index = HistoryIndex(nprocs=ring_trace.nprocs)
+    with pytest.raises(ValueError, match="outside"):
+        index.extend_columns(block)
+    assert len(index) == 0  # nothing ingested from the bad block
+
+
+def test_column_store_mirrors_records(ring_trace):
+    from repro.trace.columnar import KIND_CODES
+
+    index = ensure_index(ring_trace)
+    cols = index.columns
+    assert cols["index"].tolist() == [r.index for r in ring_trace]
+    assert cols["proc"].tolist() == [r.proc for r in ring_trace]
+    assert cols["kind"].tolist() == [KIND_CODES[r.kind] for r in ring_trace]
+    assert cols["src"].tolist() == [r.src for r in ring_trace]
+    assert cols["t0"].tolist() == [r.t0 for r in ring_trace]
+    assert cols["seq"].tolist() == [r.seq for r in ring_trace]
+
+
+def test_engine_validation_and_selection(ring_trace):
+    with pytest.raises(ValueError, match="engine"):
+        HistoryIndex(nprocs=2, engine="fortran")
+    py = HistoryIndex.from_trace(ring_trace, engine="python")
+    vec = HistoryIndex.from_trace(ring_trace, engine="numpy")
+    assert py.stats().engine == "python"
+    assert vec.stats().engine == "numpy"
+    np.testing.assert_array_equal(py.clocks, vec.clocks)
+    assert [r.index for r in py.unmatched_sends()] == [
+        r.index for r in vec.unmatched_sends()
+    ]
+
+
+def test_window_index_is_incremental(ring_trace):
+    index = HistoryIndex(nprocs=ring_trace.nprocs)
+    half = len(ring_trace) // 2
+    for rec in ring_trace[:half]:
+        index.extend(rec)
+    t0, t1 = index.span
+    first = [r.index for r in index.window(t0, t1)]
+    assert first == [r.index for r in ring_trace[:half]]
+    for rec in ring_trace[half:]:
+        index.extend(rec)
+    t0, t1 = index.span
+    assert [r.index for r in index.window(t0, t1)] == [
+        r.index for r in ring_trace
+    ]
+    stats = index.stats()
+    assert stats.window_builds == 1  # extension merged, not rebuilt
+    assert stats.window_extends == len(ring_trace)
+
+
+def test_kernel_stats_surfaced(ring_trace):
+    index = ensure_index(ring_trace)
+    detect_races(ring_trace, index=index)
+    critical_path(ring_trace, index=index)
+    stats = index.stats()
+    assert stats.kernel_calls.get("races[numpy]") == 1
+    assert stats.kernel_calls.get("critical_path[numpy]") == 1
+    text = stats.as_text()
+    assert "races[numpy]" in text and "engine=numpy" in text
