@@ -47,6 +47,9 @@ class ReplaySpec:
     nprocs: int
     policy: str = "run_to_block"
     seed: int = 0
+    #: execution backend name (``None`` -> environment default); must be
+    #: a cooperative backend, since replay drives the debugger surface
+    backend: Optional[str] = None
     cost_model: Optional[CostModel] = None
     #: functions / modules to instrument with uinst (function entries)
     uinst_functions: Sequence[Callable] = ()
@@ -82,6 +85,7 @@ def build_execution(
     """
     runtime = Runtime(
         spec.nprocs,
+        backend=spec.backend,
         policy=spec.policy,
         seed=spec.seed,
         cost_model=spec.cost_model,

@@ -82,6 +82,7 @@ class DebugSession:
         *,
         policy: str = "run_to_block",
         seed: int = 0,
+        backend: Optional[str] = None,
         cost_model: Optional[CostModel] = None,
         uinst_functions: Sequence[Callable] = (),
         uinst_modules: Sequence[Any] = (),
@@ -92,6 +93,7 @@ class DebugSession:
             nprocs=nprocs,
             policy=policy,
             seed=seed,
+            backend=backend,
             cost_model=cost_model,
             uinst_functions=tuple(uinst_functions),
             uinst_modules=tuple(uinst_modules),
@@ -289,9 +291,9 @@ class DebugSession:
                 f"p{rank} is {proc.state.value}; stacks are readable only "
                 "while stopped or blocked"
             )
-        thread = proc._thread
-        assert thread is not None and thread.ident is not None
-        frame = sys._current_frames().get(thread.ident)
+        ident = self.runtime.backend.carrier_ident(proc)
+        assert ident is not None
+        frame = sys._current_frames().get(ident)
         out: list[str] = []
         depth = 0
         while frame is not None and depth < 200:
@@ -318,9 +320,9 @@ class DebugSession:
         proc = self.runtime.procs[rank]
         if proc.state not in (ProcState.STOPPED, ProcState.BLOCKED):
             raise ValueError(f"p{rank} is {proc.state.value}")
-        thread = proc._thread
-        assert thread is not None and thread.ident is not None
-        frame = sys._current_frames().get(thread.ident)
+        ident = self.runtime.backend.carrier_ident(proc)
+        assert ident is not None
+        frame = sys._current_frames().get(ident)
         user_frames = []
         while frame is not None:
             filename = frame.f_code.co_filename

@@ -1,0 +1,74 @@
+"""Thread-per-rank cooperative backend (the original execution model).
+
+Every rank gets a daemon OS thread at launch, but at most one thread
+executes at any instant: a single condition variable serializes every
+token handoff, exactly as the pre-backend scheduler did.  The thread is
+only a *carrier* for the rank's Python stack -- scheduling decisions all
+come from the shared :class:`~repro.mp.backends.engine.CooperativeBackend`
+engine.
+
+This is the reference backend: threads make the suspension story
+trivially correct (a blocked rank is just a thread waiting on the
+condition variable mid-stack), at the cost of ``notify_all`` waking
+every parked thread on each handoff -- an O(nprocs) thundering herd per
+grant that caps practical rank counts at a few dozen.  The ``simtime``
+backend exists to remove exactly that cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..process import ProcState, Process
+from .engine import CooperativeBackend
+
+
+class ThreadedBackend(CooperativeBackend):
+    """One daemon thread per rank; condition-variable token handoffs."""
+
+    name = "threaded"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._cv = threading.Condition()
+        #: the process currently holding the token (None between grants)
+        self._current: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # carrier lifecycle
+    # ------------------------------------------------------------------
+    def start_proc(self, proc: Process) -> None:
+        if proc.rank in self._threads:
+            raise RuntimeError(f"{proc!r} already started")
+        proc.state = ProcState.READY
+        self._ready_add(proc)
+        thread = threading.Thread(
+            target=self._carrier_body, args=(proc,), name=proc.name, daemon=True
+        )
+        self._threads[proc.rank] = thread
+        thread.start()
+
+    def _carrier_body(self, proc: Process) -> None:
+        self._enter_worker_context(proc)
+        proc.run_target()
+
+    # ------------------------------------------------------------------
+    # handoff primitives
+    # ------------------------------------------------------------------
+    def _handoff(self, proc: Process) -> None:
+        with self._cv:
+            self._current = proc
+            self._cv.notify_all()
+            while self._current is not None:
+                self._cv.wait()
+
+    def _await(self, proc: Process) -> None:
+        with self._cv:
+            while self._current is not proc:
+                self._cv.wait()
+
+    def _handback(self, proc: Process) -> None:
+        with self._cv:
+            self._current = None
+            self._cv.notify_all()

@@ -37,7 +37,7 @@ from .datatypes import (
 from .errors import RequestError
 from .locutil import caller_location
 from .message import Envelope, Message, copy_payload, payload_size
-from .process import ProcState, WaitInfo, WaitKind
+from .process import WaitInfo, WaitKind
 from .requests import (
     RecvRequest,
     Request,
@@ -189,21 +189,10 @@ class Comm:
         return f"<Comm rank={self.rank}/{self.size}{extra}>"
 
     def _poll_yield(self) -> None:
-        """Give other READY processes a turn after an unsuccessful poll.
-
-        Nonblocking polls (``test``/``iprobe``) spin in user code; in a
-        cooperative simulator the poller must voluntarily yield or a
-        ``while not test()`` loop would starve the very process it is
-        waiting on, regardless of scheduling policy.
-        """
-        proc = self.proc
-        others = [
-            p
-            for p in self.runtime.procs
-            if p is not proc and p.state is ProcState.READY
-        ]
-        if others:
-            self.runtime.scheduler.yield_ready(proc)
+        """Give other READY processes a turn after an unsuccessful poll
+        (``test``/``iprobe`` spin loops); see the backend's
+        ``poll_yield`` for why a cooperative runtime requires this."""
+        self.runtime.scheduler.poll_yield(self.proc)
 
 
     # ==================================================================

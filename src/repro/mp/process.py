@@ -1,10 +1,12 @@
 """The per-rank process abstraction.
 
-Each rank of the simulated program runs in its own OS thread, but the
-cooperative scheduler (:mod:`repro.mp.scheduler`) grants execution to at
-most one process at a time, so the program behaves like the
-single-threaded message-passing processes the paper targets, with fully
-deterministic interleaving.
+How a rank's code physically executes (an OS thread per rank, a lazy
+simulated-time carrier, a real worker process) is owned by the
+execution backend (:mod:`repro.mp.backends`); this class is the
+backend-independent state of one rank.  Under the cooperative backends
+at most one process executes at any instant, so the program behaves
+like the single-threaded message-passing processes the paper targets,
+with fully deterministic interleaving.
 
 A process carries the state the paper's debugging machinery needs:
 
@@ -21,7 +23,6 @@ A process carries the state the paper's debugging machinery needs:
 from __future__ import annotations
 
 import enum
-import threading
 import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
@@ -31,14 +32,14 @@ from .datatypes import SourceLocation
 from .errors import ProcessKilled
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .backends.engine import CooperativeBackend
     from .comm import Comm
-    from .scheduler import Scheduler
 
 
 class ProcState(enum.Enum):
     """Lifecycle states of a simulated process."""
 
-    CREATED = "created"  # thread not yet started
+    CREATED = "created"  # not yet started by the backend
     READY = "ready"  # runnable, waiting for the scheduler token
     RUNNING = "running"  # currently holds the token
     BLOCKED = "blocked"  # waiting on a communication condition
@@ -127,10 +128,11 @@ class StopState:
 
 
 class Process:
-    """One rank: thread, clock, marker counter, and stop control.
+    """One rank: clock, marker counter, and stop control.
 
-    The scheduler drives the process through :meth:`start`,
-    :meth:`_grant_loop` handshakes, and the yield helpers below.  User
+    The execution backend (``self.scheduler``, a
+    :class:`~repro.mp.backends.engine.CooperativeBackend`) drives the
+    process through :meth:`run_target` and the grant handshakes.  User
     code never sees this class directly -- it receives a
     :class:`~repro.mp.comm.Comm` bound to it.
     """
@@ -138,7 +140,7 @@ class Process:
     def __init__(
         self,
         rank: int,
-        scheduler: "Scheduler",
+        scheduler: "CooperativeBackend",
         target: Callable[["Comm"], Any],
         name: Optional[str] = None,
     ) -> None:
@@ -173,8 +175,7 @@ class Process:
         #: instrumentation layers (UserMonitor lives here).
         self.marker_hooks: list[Callable[["Process", SourceLocation, tuple], None]] = []
 
-        # --- thread plumbing ---------------------------------------------
-        self._thread: Optional[threading.Thread] = None
+        # --- teardown plumbing -------------------------------------------
         self._kill = False
         #: most recent user-frame location, maintained by instrumentation
         self.current_location: SourceLocation = SourceLocation.unknown()
@@ -194,21 +195,14 @@ class Process:
         return self.state not in TERMINAL_STATES and self.state != ProcState.CREATED
 
     # ------------------------------------------------------------------
-    # thread lifecycle (called by the scheduler/runtime)
+    # worker-context entry (called by the backend's carrier)
     # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Create and start the worker thread; the process becomes READY
-        and will begin executing when first granted the token."""
-        if self._thread is not None:
-            raise RuntimeError(f"{self!r} already started")
-        self.state = ProcState.READY
-        self._thread = threading.Thread(
-            target=self._thread_body, name=self.name, daemon=True
-        )
-        self._thread.start()
+    def run_target(self) -> None:
+        """Wait for the first grant, run the target, report completion.
 
-    def _thread_body(self) -> None:
-        """Worker-thread entry: wait for the first grant, run the target."""
+        The backend invokes this from whatever execution context carries
+        the rank; it returns only when the rank is terminal.
+        """
         try:
             self.scheduler.await_grant(self)
             if self.stop.stop_on_entry:
@@ -221,11 +215,6 @@ class Process:
             self.exception = exc
             self.traceback_text = traceback.format_exc()
             self.scheduler.proc_finished(self, ProcState.ERRORED)
-
-    def join(self, timeout: Optional[float] = None) -> None:
-        """Join the worker thread (teardown helper)."""
-        if self._thread is not None:
-            self._thread.join(timeout)
 
     # ------------------------------------------------------------------
     # instrumentation points (called from the worker thread, token held)

@@ -1,7 +1,7 @@
 """The runtime: program launch, message transport, and debugger control.
 
-A :class:`Runtime` wires together the scheduler, one process + mailbox +
-communicator per rank, the PMPI interposition layer, and the
+A :class:`Runtime` wires together an execution backend, one process +
+mailbox + communicator per rank, the PMPI interposition layer, and the
 communication log used for controlled replay.  It is the object the
 debugger (:mod:`repro.debugger`) drives:
 
@@ -11,6 +11,13 @@ debugger (:mod:`repro.debugger`) drives:
   stopline/replay/undo machinery of the paper's Section 4;
 * :meth:`unmatched_sends` / :meth:`blocked_waits` feed the Section 4.4
   history analysis.
+
+The runtime owns the *backend-neutral protocol* (mailboxes, matching,
+sequence numbers, the CommLog, replay forcing); *how ranks execute* is
+delegated to a pluggable :class:`~repro.mp.backends.ExecutionBackend`
+selected by name -- ``Runtime(n, backend="simtime")`` -- with the
+default taken from the ``REPRO_BACKEND`` environment variable.  See
+DESIGN.md, "Execution backends".
 """
 
 from __future__ import annotations
@@ -18,7 +25,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
-from .channel import Mailbox, PendingRecv, iter_unmatched_sends
+from .backends import BackendSpec, ExecutionBackend, make_backend
+from .channel import Mailbox, PendingRecv
 from .clock import CostModel
 from .comm import Comm
 from .errors import MPError
@@ -26,7 +34,7 @@ from .message import Envelope, Message
 from .pmpi import PMPILayer
 from .process import ProcState, Process, WaitInfo
 from .record import CommLog
-from .scheduler import RunOutcome, RunReport, Scheduler, SchedulingPolicy
+from .scheduler import RunOutcome, RunReport, SchedulingPolicy
 
 #: A program is one SPMD callable, or one callable per rank.
 Target = Callable[[Comm], Any]
@@ -40,11 +48,16 @@ class Runtime:
     ----------
     nprocs:
         Number of ranks.
+    backend:
+        Execution backend -- a registered name (``"threaded"``,
+        ``"simtime"``, ``"mproc"``), an :class:`ExecutionBackend`
+        instance, or None for the session default
+        (``$REPRO_BACKEND``, else ``"threaded"``).
     policy, seed:
         Scheduling policy name/instance and seed (see
         :mod:`repro.mp.scheduler`).  Everything downstream -- traces,
         matching, markers -- is a deterministic function of (program,
-        policy, seed, replay log).
+        policy, seed, replay log) on deterministic backends.
     cost_model:
         Virtual-time costs; default :class:`CostModel`.
     replay_log:
@@ -59,6 +72,7 @@ class Runtime:
         self,
         nprocs: int,
         *,
+        backend: Optional[BackendSpec] = None,
         policy: "str | SchedulingPolicy" = "run_to_block",
         seed: int = 0,
         cost_model: Optional[CostModel] = None,
@@ -69,7 +83,10 @@ class Runtime:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.cost_model = cost_model or CostModel()
-        self.scheduler = Scheduler(policy=policy, seed=seed, max_grants=max_grants)
+        self.backend: ExecutionBackend = make_backend(
+            backend, policy=policy, seed=seed, max_grants=max_grants
+        )
+        self.backend.bind(self)
         self.pmpi_layer = PMPILayer()
         self.replay_log = replay_log
         #: matching decisions recorded during THIS run (always on; cheap)
@@ -90,9 +107,18 @@ class Runtime:
         self._ssend_pending: dict[int, int] = {}  # msg_id -> sender rank
         self._launched = False
         self._shut_down = False
-        self._thread_to_proc: dict[int, Process] = {}
         #: total messages deposited (statistics / tests)
         self.messages_sent = 0
+
+    @property
+    def scheduler(self) -> ExecutionBackend:
+        """The execution backend (kept under the historical name: tests
+        and the comm layer address grant hooks and yields through it)."""
+        return self.backend
+
+    def _require_debugger(self, what: str) -> None:
+        if not self.backend.supports_debugger:
+            raise self.backend._debugger_unsupported(what)
 
     # ------------------------------------------------------------------
     # launch / run / teardown
@@ -104,7 +130,7 @@ class Runtime:
         stop_on_entry: bool = False,
         target_wrappers: Sequence[Callable[[Target, int], Target]] = (),
     ) -> None:
-        """Create the process threads; they wait for the first grant.
+        """Create the per-rank executions; they wait for the first grant.
 
         ``program`` may be a single SPMD callable (every rank runs it), a
         sequence of ``nprocs`` callables, or a rank->callable mapping
@@ -113,24 +139,23 @@ class Runtime:
         ``target_wrappers`` are applied to each rank's target in order
         (``wrapper(target, rank) -> target``); instrumentation layers use
         them to install per-thread hooks (uinst's profile function) and
-        lifecycle trace records.
+        lifecycle trace records.  They require a backend with in-process
+        execution (``supports_wrappers``).
         """
         if self._launched:
             raise RuntimeError("runtime already launched")
+        if target_wrappers and not self.backend.supports_wrappers:
+            raise MPError(
+                "target_wrappers require an in-process execution backend; "
+                f"backend {self.backend.name!r} runs ranks out of process"
+            )
+        if stop_on_entry:
+            self._require_debugger("stop-on-entry")
         self._launched = True
         targets = self._resolve_targets(program)
         for wrapper in target_wrappers:
             targets = [wrapper(t, rank) for rank, t in enumerate(targets)]
-        for rank in range(self.nprocs):
-            proc = Process(rank, self.scheduler, targets[rank])
-            proc.stop.stop_on_entry = stop_on_entry
-            comm = Comm(self, rank)
-            proc.comm = comm
-            self.procs.append(proc)
-            self.comms.append(comm)
-            self.scheduler.register(proc)
-        for proc in self.procs:
-            proc.start()
+        self.backend.launch(targets, stop_on_entry=stop_on_entry)
 
     def _resolve_targets(self, program: ProgramSpec) -> list[Target]:
         if callable(program):
@@ -149,33 +174,18 @@ class Runtime:
         return targets
 
     def current_proc(self) -> Process:
-        """The process whose worker thread is the calling thread.
+        """The process whose execution context is the calling one.
 
         Used by monitors shared across ranks (the AIMS monitor object of
         the source instrumentation) to attribute an event to a rank.
         """
-        import threading
-
-        ident = threading.get_ident()
-        proc = self._thread_to_proc.get(ident)
-        if proc is None:
-            for p in self.procs:
-                t = p._thread
-                if t is not None and t.ident is not None:
-                    self._thread_to_proc[t.ident] = p
-            proc = self._thread_to_proc.get(ident)
-        if proc is None:
-            raise RuntimeError(
-                "current_proc() called from a thread that is not a "
-                "simulated process"
-            )
-        return proc
+        return self.backend.current_proc()
 
     def run_until_idle(self) -> RunReport:
         """Schedule until completion / debugger stop / deadlock."""
         if not self._launched:
             raise RuntimeError("launch() a program first")
-        return self.scheduler.run_until_idle()
+        return self.backend.run_until_idle()
 
     def run(
         self,
@@ -206,7 +216,7 @@ class Runtime:
             return
         self._shut_down = True
         if self._launched:
-            self.scheduler.shutdown()
+            self.backend.shutdown()
 
     def __enter__(self) -> "Runtime":
         return self
@@ -251,9 +261,9 @@ class Runtime:
             # 2. Release a rendezvous sender, if any.
             sender_rank = self._ssend_pending.pop(msg.msg_id, None)
             if sender_rank is not None:
-                self.scheduler.unblock(self.procs[sender_rank])
+                self.backend.unblock(self.procs[sender_rank])
             # 3. Wake the receiving process if it is blocked.
-            self.scheduler.unblock(self.procs[rank])
+            self.backend.unblock(self.procs[rank])
 
         return _on_match
 
@@ -261,7 +271,7 @@ class Runtime:
         def _on_deposit(msg: Message) -> None:
             # Wake the destination even when nothing matched: blocked
             # probes and replay-forced receives re-check their condition.
-            self.scheduler.unblock(self.procs[rank])
+            self.backend.unblock(self.procs[rank])
 
         return _on_deposit
 
@@ -286,11 +296,12 @@ class Runtime:
         self.comm_log.record_waitany(rank, call_index, choice)
 
     # ------------------------------------------------------------------
-    # debugger-facing control surface
+    # debugger-facing control surface (needs a cooperative backend)
     # ------------------------------------------------------------------
     def set_threshold(self, rank: int, marker: Optional[int]) -> None:
         """Store a UserMonitor threshold: the process parks when its
         execution-marker counter reaches ``marker`` (Section 2.2)."""
+        self._require_debugger("marker thresholds")
         self.procs[rank].set_threshold(marker)
 
     def set_thresholds(self, thresholds: Mapping[int, int]) -> None:
@@ -300,22 +311,26 @@ class Runtime:
 
     def interrupt_all(self) -> None:
         """Ask every live process to park at its next marker."""
+        self._require_debugger("interrupts")
         for proc in self.procs:
             if proc.live:
                 proc.request_interrupt()
 
     def clear_interrupts(self) -> None:
+        self._require_debugger("interrupts")
         for proc in self.procs:
             proc.clear_interrupt()
 
     def resume(self, ranks: Optional[Sequence[int]] = None) -> RunReport:
         """Resume STOPPED processes (all, or the given ranks) and run on."""
+        self._require_debugger("resume")
         procs = None if ranks is None else [self.procs[r] for r in ranks]
-        self.scheduler.resume_stopped(procs)
+        self.backend.resume_stopped(procs)
         return self.run_until_idle()
 
     def step(self, rank: int) -> RunReport:
         """Single-step one process: run it to its next marker point."""
+        self._require_debugger("single-step")
         proc = self.procs[rank]
         proc.request_step()
         return self.resume([rank])
@@ -325,7 +340,7 @@ class Runtime:
     # ------------------------------------------------------------------
     def unmatched_sends(self) -> list[Message]:
         """Messages deposited but never received (missed messages)."""
-        return iter_unmatched_sends(self.mailboxes)
+        return self.backend.unmatched_sends()
 
     def unmatched_recvs(self) -> list[PendingRecv]:
         """Posted receives never matched."""
@@ -365,10 +380,37 @@ class Runtime:
         return None
 
 
+def create_runtime(
+    backend: Optional[BackendSpec],
+    nprocs: int,
+    *,
+    policy: "str | SchedulingPolicy" = "run_to_block",
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    replay_log: Optional[CommLog] = None,
+    max_grants: Optional[int] = None,
+) -> Runtime:
+    """Named-backend factory: ``create_runtime("simtime", 1024)``.
+
+    Equivalent to ``Runtime(nprocs, backend=backend, ...)`` with the
+    backend name up front; ``None`` selects the session default.
+    """
+    return Runtime(
+        nprocs,
+        backend=backend,
+        policy=policy,
+        seed=seed,
+        cost_model=cost_model,
+        replay_log=replay_log,
+        max_grants=max_grants,
+    )
+
+
 def run_program(
     program: ProgramSpec,
     nprocs: int,
     *,
+    backend: Optional[BackendSpec] = None,
     policy: "str | SchedulingPolicy" = "run_to_block",
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
@@ -382,6 +424,7 @@ def run_program(
     """
     rt = Runtime(
         nprocs,
+        backend=backend,
         policy=policy,
         seed=seed,
         cost_model=cost_model,
@@ -395,6 +438,7 @@ def run_program(
 
 __all__ = [
     "Runtime",
+    "create_runtime",
     "run_program",
     "ProgramSpec",
     "Target",

@@ -1,0 +1,111 @@
+"""The 2-D stencil and data-parallel training workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    dptrain_program,
+    halo2d_program,
+    initial_tile,
+    make_shard,
+    process_grid,
+    reference_halo2d,
+)
+from repro.mp import run_program
+
+
+class TestProcessGrid:
+    @pytest.mark.parametrize(
+        "n,expect",
+        [(1, (1, 1)), (4, (2, 2)), (6, (3, 2)), (8, (4, 2)), (16, (4, 4)),
+         (64, (8, 8)), (7, (7, 1)), (1024, (32, 32))],
+    )
+    def test_squarest_factorisation(self, n, expect):
+        py, px = process_grid(n)
+        assert (py, px) == expect
+        assert py * px == n
+
+    def test_tiles_partition_the_grid(self):
+        nprocs, tile = 6, 3
+        py, px = process_grid(nprocs)
+        grid = reference_halo2d(nprocs, tile, steps=0)
+        for rank in range(nprocs):
+            gy, gx = divmod(rank, px)
+            block = grid[gy * tile:(gy + 1) * tile, gx * tile:(gx + 1) * tile]
+            np.testing.assert_allclose(block, initial_tile(rank, nprocs, tile))
+
+
+class TestHalo2D:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 6, 8])
+    def test_matches_numpy_reference(self, nprocs):
+        tile, steps, seed = 3, 3, 2
+        rt = run_program(halo2d_program(tile=tile, steps=steps, seed=seed),
+                         nprocs=nprocs)
+        ref = reference_halo2d(nprocs, tile, steps, seed)
+        py, px = process_grid(nprocs)
+        for rank, got in enumerate(rt.results()):
+            gy, gx = divmod(rank, px)
+            want = ref[gy * tile:(gy + 1) * tile, gx * tile:(gx + 1) * tile].sum()
+            assert got == pytest.approx(float(want), abs=1e-12)
+
+    def test_mean_preserved(self):
+        # The periodic Jacobi update is an averaging: the global mean
+        # is an invariant of the iteration.
+        before = reference_halo2d(8, 4, steps=0, seed=1).mean()
+        after = reference_halo2d(8, 4, steps=5, seed=1).mean()
+        assert after == pytest.approx(before, abs=1e-12)
+
+    def test_seeds_differ(self):
+        a = run_program(halo2d_program(tile=3, steps=1, seed=0), nprocs=4)
+        b = run_program(halo2d_program(tile=3, steps=1, seed=1), nprocs=4)
+        assert a.results() != b.results()
+
+    def test_compute_cost_advances_clock_only(self):
+        plain = run_program(halo2d_program(tile=3, steps=2), nprocs=4)
+        costed = run_program(halo2d_program(tile=3, steps=2, compute_cost=5.0),
+                             nprocs=4)
+        assert costed.results() == plain.results()
+        assert all(
+            c.clock.now > p.clock.now
+            for c, p in zip(costed.procs, plain.procs)
+        )
+
+
+class TestDptrain:
+    def test_loss_decreases_monotonically(self):
+        rt = run_program(dptrain_program(steps=6, dim=4, n_samples=8), nprocs=4)
+        losses = rt.results()[0]
+        assert len(losses) == 6
+        assert all(b < a for a, b in zip(losses, losses[1:]))
+
+    def test_all_ranks_agree(self):
+        rt = run_program(dptrain_program(steps=3, dim=4, n_samples=8), nprocs=4)
+        first = rt.results()[0]
+        assert all(r == first for r in rt.results())
+
+    def test_shards_deterministic_and_distinct(self):
+        x0, y0 = make_shard(0, seed=0, n_samples=4, dim=3)
+        x0b, y0b = make_shard(0, seed=0, n_samples=4, dim=3)
+        x1, _ = make_shard(1, seed=0, n_samples=4, dim=3)
+        np.testing.assert_array_equal(x0, x0b)
+        np.testing.assert_array_equal(y0, y0b)
+        assert not np.array_equal(x0, x1)
+
+    def test_single_rank_matches_serial_sgd(self):
+        # With size == 1 the allreduces are identity: the loop is plain
+        # full-batch SGD, checkable against a direct numpy loop.
+        steps, dim, n, lr, seed = 4, 3, 8, 0.05, 2
+        rt = run_program(
+            dptrain_program(steps=steps, dim=dim, n_samples=n, lr=lr, seed=seed),
+            nprocs=1,
+        )
+        x, y = make_shard(0, seed, n, dim)
+        w = np.zeros(dim)
+        expect = []
+        for _ in range(steps):
+            resid = x @ w - y
+            expect.append(float(resid @ resid) / n)
+            w = w - lr * (2.0 * (x.T @ resid) / n)
+        assert rt.results()[0] == pytest.approx(expect)
