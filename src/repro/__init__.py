@@ -19,6 +19,8 @@ Package map (see DESIGN.md for the full inventory):
   deadlock and race detection;
 * :mod:`repro.debugger` -- the p2d2 analog: sessions, breakpoints,
   stoplines, controlled replay, parallel undo, checkpoints;
+* :mod:`repro.explore` -- schedule-space exploration: race-driven
+  steer + replay fuzzing with clean/divergent/deadlock/crash verdicts;
 * :mod:`repro.viz` -- time-space diagrams (ASCII/SVG) and animation;
 * :mod:`repro.apps` -- the paper's workloads (Strassen, Fibonacci, LU).
 
@@ -41,7 +43,7 @@ See README.md for the guided tour and ``examples/`` for complete
 scenarios, including the paper's worked Figure 5-7 debugging session.
 """
 
-from . import analysis, apps, debugger, graphs, instrument, mp, trace, viz
+from . import analysis, apps, debugger, explore, graphs, instrument, mp, trace, viz
 
 __version__ = "1.0.0"
 
@@ -49,6 +51,7 @@ __all__ = [
     "analysis",
     "apps",
     "debugger",
+    "explore",
     "graphs",
     "instrument",
     "mp",

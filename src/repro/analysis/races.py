@@ -37,6 +37,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .history import HistoryIndex
 
 
+class UnsteerableAlternativeError(ValueError):
+    """The alternative is already consumed by a receive that happens
+    before the racing one, so single-steer forcing cannot deliver it
+    (the forcing log would force one envelope at two receives and the
+    replay would deadlock waiting for a second copy)."""
+
+
 @dataclass
 class MessageRace:
     """A wildcard receive with alternative deliverable sends."""
@@ -276,43 +283,88 @@ def steer_to_alternative(
     race_entry_key = None
     for r in range(trace.nprocs):
         entries = sorted(
-            (idx, env) for (rr, idx), env in base_log.recv_matches.items() if rr == r
+            (post, env)
+            for (rr, post), env in base_log.recv_matches.items()
+            if rr == r
         )
         recvs = [rec for rec in trace.by_proc(r) if rec.is_recv]
-        for (idx, env), rec in zip(entries, recvs):
+        if len(entries) != len(recvs):
+            raise ValueError(
+                f"forcing-log/trace misalignment on rank {r}: the base log "
+                f"records {len(entries)} receive matching(s) but the trace "
+                f"has {len(recvs)} receive record(s); the log and trace must "
+                "come from the same execution (blocking receives, completion "
+                "order == post order) for steering to align them"
+            )
+        for (post_idx, env), rec in zip(entries, recvs):
             if rec.index == race.recv.index:
-                race_entry_key = (r, idx)
+                race_entry_key = (r, post_idx)
             elif order.happens_before(rec.index, race.recv.index):
-                steered.recv_matches[(r, idx)] = env
+                steered.recv_matches[(r, post_idx)] = env
     if race_entry_key is None:
         raise ValueError(
             "the racing receive's matching is not in the base log"
         )
+    for key, env in steered.recv_matches.items():
+        if env == alt_env:
+            raise UnsteerableAlternativeError(
+                f"alternative {alt_env} is already delivered to receive "
+                f"{key} in the forced prefix (it happens before the racing "
+                "receive); a single steer cannot deliver it again -- "
+                "exploring that matching requires exchanging the earlier "
+                "receive's message too"
+            )
     steered.recv_matches[race_entry_key] = alt_env
     # waitany choices: keep only those whose position is safely causal --
     # conservatively, none (free choice downstream of a steer).
     return steered
 
 
-def matching_fingerprint(comm_log) -> tuple:
-    """A hashable summary of one run's matching decisions."""
-    return tuple(
+def matching_fingerprint(comm_log, markers=None) -> tuple:
+    """A hashable summary of one run's matching decisions.
+
+    ``markers`` (optional rank -> execution-marker mapping) extends the
+    fingerprint with execution-marker coordinates: two forcing logs with
+    identical matchings but different steer points (the schedule-space
+    explorer tags each candidate with the racing receive's marker) hash
+    differently, while plain matching fingerprints stay comparable with
+    pre-marker callers.
+    """
+    fp = tuple(
         (rank, idx, env.src, env.tag, env.seq)
         for (rank, idx), env in sorted(comm_log.recv_matches.items())
     )
+    if markers:
+        fp = fp + (("markers",) + tuple(sorted(markers.items())),)
+    return fp
 
 
-def explore_schedules(program, nprocs: int, seeds=range(8)) -> dict[tuple, int]:
+def explore_schedules(
+    program,
+    nprocs: int,
+    seeds=range(8),
+    *,
+    backend=None,
+    policy: str = "random",
+) -> dict[tuple, int]:
     """Run under several random schedules; map matching fingerprints to
     occurrence counts.  More than one key = schedule-sensitive matching
-    (an observed race)."""
+    (an observed race).
+
+    ``backend`` / ``policy`` pass through to the runtime, so the sweep
+    can run on the fast deterministic engines (``backend="simtime"``);
+    the runtime is shut down even when a schedule crashes or deadlocks,
+    so no execution threads outlive a failed sweep.
+    """
     from repro.mp.runtime import Runtime
 
     seen: dict[tuple, int] = {}
     for seed in seeds:
-        rt = Runtime(nprocs, policy="random", seed=seed)
-        rt.run(program)
-        rt.shutdown()
-        fp = matching_fingerprint(rt.comm_log)
+        rt = Runtime(nprocs, backend=backend, policy=policy, seed=seed)
+        try:
+            rt.run(program)
+            fp = matching_fingerprint(rt.comm_log)
+        finally:
+            rt.shutdown()
         seen[fp] = seen.get(fp, 0) + 1
     return seen

@@ -29,6 +29,12 @@ from .fibonacci import distributed_fib_program, fib, fib_call_count, fib_program
 from .halo2d import halo2d_program, initial_tile, process_grid, reference_halo2d
 from .lu import LUConfig, local_residual, lu_program, make_rhs
 from .ring import halo_program, master_worker_program, pingpong_program, ring_program
+from .schedbug import (
+    SCHEDBUG_MODES,
+    reference_result,
+    schedbug_program,
+    task_value,
+)
 from .strassen import (
     N_PRODUCTS,
     TAG_OPERAND_A,
@@ -72,10 +78,13 @@ CONFORMANCE_PROGRAMS = {
     "dptrain": lambda nprocs, seed: dptrain_program(
         steps=3, dim=4, n_samples=8, seed=seed
     ),
+    "schedbug": lambda nprocs, seed: schedbug_program(
+        n_tasks=2 * nprocs, mode="safe", task_cost=1.0
+    ),
 }
 
 #: conformance programs whose receives use ANY_SOURCE / ANY_TAG.
-WILDCARD_PROGRAMS = frozenset({"master_worker"})
+WILDCARD_PROGRAMS = frozenset({"master_worker", "schedbug"})
 
 __all__ = [
     "CONFORMANCE_PROGRAMS",
@@ -100,12 +109,16 @@ __all__ = [
     "make_inputs",
     "make_rhs",
     "make_shard",
+    "SCHEDBUG_MODES",
     "master_worker_program",
     "pingpong_program",
     "process_grid",
     "reference_halo2d",
     "reference_product",
+    "reference_result",
     "ring_program",
+    "schedbug_program",
+    "task_value",
     "split_quadrants",
     "strassen_operands",
     "strassen_program",

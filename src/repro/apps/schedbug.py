@@ -1,0 +1,117 @@
+"""Schedule-sensitive master/worker pool with seeded ordering bugs.
+
+The demo workload for the schedule-space explorer
+(:mod:`repro.explore`): a self-scheduling master hands tasks to workers
+and collects results with ``ANY_SOURCE`` -- the canonical message race
+-- and folds them in **arrival order**.  Under the recorded schedule the
+program behaves; under some alternative matching of the racing receives
+the seeded bug fires.  ``mode`` selects which bug:
+
+* ``"unsafe"`` (default) -- the master folds results with the
+  non-commutative update ``acc = 0.5 * acc + value``, so any arrival
+  reordering changes the answer: **numeric divergence**.
+* ``"crash"`` -- the master assumes the *first* result to arrive is
+  task 0 (true under the recorded schedule: task 0 is primed first and
+  is the cheapest) and raises when another task overtakes it: **crash**.
+* ``"deadlock"`` -- on that same overtaking arrival the master waits
+  for a message its workers will never send: **deadlock**.
+* ``"safe"`` -- plain commutative accumulation; every schedule returns
+  :func:`reference_result`, which is what a clean exploration report
+  certifies.
+
+Workers receive with ``ANY_TAG`` (task vs stop), so the trace also
+carries tag-only wildcard receives -- the race detector's other
+wildcard family.
+"""
+
+from __future__ import annotations
+
+from repro.mp.comm import Comm
+from repro.mp.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mp.status import Status
+
+TAG_TASK = 61
+TAG_RESULT = 62
+TAG_STOP = 63
+
+#: the seeded failure modes (see module docstring)
+SCHEDBUG_MODES = ("unsafe", "crash", "deadlock", "safe")
+
+
+def task_value(task: int) -> float:
+    """Distinct per-task payload so reordered folds visibly diverge."""
+    return float(task + 1)
+
+
+def reference_result(n_tasks: int) -> float:
+    """The order-insensitive (``mode="safe"``) master result."""
+    return sum(task_value(t) for t in range(n_tasks))
+
+
+def schedbug_program(
+    n_tasks: int = 6,
+    mode: str = "unsafe",
+    task_cost: float = 2.0,
+):
+    """Build the master/worker target; rank 0 returns the folded result."""
+    if mode not in SCHEDBUG_MODES:
+        raise ValueError(
+            f"unknown schedbug mode {mode!r}; expected one of {SCHEDBUG_MODES}"
+        )
+
+    def master(comm: Comm) -> float:
+        acc = 0.0
+        completed = 0
+        next_task = 0
+        outstanding = 0
+        for w in range(1, comm.size):
+            if next_task < n_tasks:
+                comm.send(next_task, dest=w, tag=TAG_TASK)
+                next_task += 1
+                outstanding += 1
+            else:
+                comm.send(None, dest=w, tag=TAG_STOP)
+        while outstanding:
+            st = Status()
+            task, value = comm.recv(source=ANY_SOURCE, tag=TAG_RESULT, status=st)
+            if completed == 0 and task != 0:
+                # Task 0 is primed first and is the cheapest, so under
+                # the recorded schedule it always finishes first; only
+                # an alternative matching gets here -- the seeded bug.
+                if mode == "crash":
+                    raise RuntimeError(
+                        f"task {task} finished before task 0"
+                    )
+                if mode == "deadlock":
+                    # Waits for a task-channel message from the worker;
+                    # workers only ever *receive* on that tag.
+                    comm.recv(source=st.source, tag=TAG_TASK)
+            completed += 1
+            if mode == "unsafe":
+                acc = 0.5 * acc + value
+            else:
+                acc += value
+            outstanding -= 1
+            if next_task < n_tasks:
+                comm.send(next_task, dest=st.source, tag=TAG_TASK)
+                next_task += 1
+                outstanding += 1
+            else:
+                comm.send(None, dest=st.source, tag=TAG_STOP)
+        return acc
+
+    def worker(comm: Comm) -> None:
+        while True:
+            st = Status()
+            task = comm.recv(source=0, tag=ANY_TAG, status=st)
+            if st.tag == TAG_STOP:
+                return None
+            comm.compute(task_cost * (1 + task % 3))
+            comm.send((task, task_value(task)), dest=0, tag=TAG_RESULT)
+
+    def prog(comm: Comm):
+        if comm.size < 3:
+            raise ValueError("schedbug needs >= 3 ranks (1 master, 2 workers)")
+        return master(comm) if comm.rank == 0 else worker(comm)
+
+    return prog

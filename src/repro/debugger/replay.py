@@ -168,10 +168,16 @@ def replay_matches_markers(
 
     Processes that exited or blocked before reaching the threshold
     return False -- the stopline lay beyond reachable history (e.g. a
-    threshold past a deadlock).
+    threshold past a deadlock).  A threshold naming a rank outside the
+    execution is a caller error, reported as such.
     """
+    procs = execution.runtime.procs
     for rank in thresholds:
-        proc = execution.runtime.procs[rank]
-        if proc.marker != thresholds[rank]:
+        if not 0 <= rank < len(procs):
+            raise ValueError(
+                f"marker threshold names rank {rank}, but the execution "
+                f"has {len(procs)} rank(s) (valid: 0..{len(procs) - 1})"
+            )
+        if procs[rank].marker != thresholds[rank]:
             return False
     return True

@@ -1,0 +1,44 @@
+"""``repro.explore`` -- systematic schedule-space exploration.
+
+"Is my program schedule-insensitive?" as a one-call (or one-command:
+``python -m repro.explore``) workflow: record a base run, enumerate its
+message races, steer + replay every deliverable alternative depth-
+bounded DFS-style with fingerprint deduplication, and classify each
+explored schedule as clean, numerically divergent, deadlocked, or
+crashed -- with the forcing log that reproduces it and the first
+divergent event per process.
+
+* :func:`explore` -- the driver (see :mod:`repro.explore.driver`).
+* :class:`ExplorationReport` / :class:`ScheduleOutcome` /
+  :class:`ScheduleStatus` -- the result surface.
+* :class:`SerialReplayExecutor` / :class:`MprocReplayExecutor` -- where
+  replays run (in-process, or batched over forked workers).
+"""
+
+from .batch import MprocReplayExecutor, SerialReplayExecutor, make_executor
+from .context import (
+    BaseRunFailed,
+    ExploreContext,
+    TracedRun,
+    run_base,
+    run_schedule_job,
+    schedule_candidates,
+)
+from .driver import explore
+from .report import ExplorationReport, ScheduleOutcome, ScheduleStatus
+
+__all__ = [
+    "BaseRunFailed",
+    "ExplorationReport",
+    "ExploreContext",
+    "MprocReplayExecutor",
+    "ScheduleOutcome",
+    "ScheduleStatus",
+    "SerialReplayExecutor",
+    "TracedRun",
+    "explore",
+    "make_executor",
+    "run_base",
+    "run_schedule_job",
+    "schedule_candidates",
+]

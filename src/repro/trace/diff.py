@@ -126,6 +126,78 @@ def diff_traces(
     return out
 
 
+def first_divergence_locations(diff: TraceDiff) -> list[dict]:
+    """Compact, JSON-able location of each process's first divergence.
+
+    The schedule-space explorer ships these across process boundaries,
+    so every field is a plain scalar/string: process, per-process event
+    position, and the marker/kind/location of the two records (``None``
+    for a side that ended early).
+    """
+
+    def side(rec: Optional[TraceRecord]) -> Optional[dict]:
+        if rec is None:
+            return None
+        return {
+            "marker": rec.marker,
+            "kind": rec.kind.value,
+            "location": str(rec.location),
+            "src": rec.src,
+            "dst": rec.dst,
+            "tag": rec.tag,
+            "seq": rec.seq,
+        }
+
+    return [
+        {
+            "proc": d.proc,
+            "position": d.position,
+            "left": side(d.left),
+            "right": side(d.right),
+        }
+        for d in diff.divergences
+    ]
+
+
+def results_equal(
+    left: object,
+    right: object,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> bool:
+    """Tolerant structural equality of two program results.
+
+    Schedule exploration classifies a replayed schedule as *numerically
+    divergent* when the per-rank return values differ from the base
+    run's beyond floating-point noise.  Results are arbitrary user
+    values, so the comparison recurses through lists/tuples/dicts and
+    compares leaves numerically when both sides are numbers or numpy
+    arrays, exactly otherwise.
+    """
+    import numpy as np
+
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        if len(left) != len(right):
+            return False
+        return all(results_equal(a, b, rtol, atol) for a, b in zip(left, right))
+    if isinstance(left, dict) and isinstance(right, dict):
+        if set(left) != set(right):
+            return False
+        return all(results_equal(left[k], right[k], rtol, atol) for k in left)
+    left_num = isinstance(left, (int, float, complex, np.number, np.ndarray))
+    right_num = isinstance(right, (int, float, complex, np.number, np.ndarray))
+    if left_num and right_num:
+        if isinstance(left, bool) != isinstance(right, bool):
+            return False
+        try:
+            return bool(np.allclose(left, right, rtol=rtol, atol=atol))
+        except ValueError:  # shape mismatch
+            return False
+    return bool(left == right)
+
+
 def verify_replay_prefix(
     original: Trace,
     replayed: Trace,

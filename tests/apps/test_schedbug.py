@@ -1,0 +1,56 @@
+"""The schedule-sensitive demo workload for the explorer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mp
+from repro.apps import (
+    SCHEDBUG_MODES,
+    reference_result,
+    schedbug_program,
+    task_value,
+)
+
+
+class TestSchedbugProgram:
+    def test_reference_result_matches_task_values(self):
+        assert reference_result(5) == sum(task_value(t) for t in range(5))
+
+    @pytest.mark.parametrize("mode", SCHEDBUG_MODES)
+    def test_base_run_is_clean_in_every_mode(self, mode):
+        """The seeded bugs only fire on *alternative* schedules: the
+        recorded run_to_block execution always finishes (that is what
+        makes them exploration targets rather than plain crashes)."""
+        rt = mp.Runtime(4)
+        report = rt.run(schedbug_program(n_tasks=6, mode=mode, task_cost=1.0))
+        rt.shutdown()
+        assert report.outcome is mp.RunOutcome.FINISHED
+
+    def test_safe_mode_returns_reference_result(self):
+        rt = mp.Runtime(4)
+        rt.run(schedbug_program(n_tasks=7, mode="safe", task_cost=1.0))
+        results = rt.results()
+        rt.shutdown()
+        assert results[0] == reference_result(7)
+
+    def test_unsafe_mode_folds_in_arrival_order(self):
+        """The non-commutative fold differs from the safe sum -- that
+        asymmetry is what alternative schedules perturb."""
+        rt = mp.Runtime(4)
+        rt.run(schedbug_program(n_tasks=6, mode="unsafe", task_cost=1.0))
+        results = rt.results()
+        rt.shutdown()
+        assert results[0] != reference_result(6)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedbug mode"):
+            schedbug_program(mode="nope")
+
+    def test_needs_three_ranks(self):
+        rt = mp.Runtime(2)
+        report = rt.run(schedbug_program(n_tasks=2), raise_errors=False)
+        exc = rt.first_exception()
+        rt.shutdown()
+        assert report.outcome is mp.RunOutcome.ERROR
+        assert isinstance(exc, ValueError)

@@ -1,0 +1,47 @@
+"""``replay_matches_markers`` input validation (explorer bugfix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import strassen as st
+from repro.debugger import DebugSession, replay_matches_markers
+from repro.trace.markers import MarkerVector
+
+
+@pytest.fixture(scope="module")
+def finished_session():
+    cfg = st.StrassenConfig(n=8, nprocs=4)
+    session = DebugSession(st.strassen_program(cfg), 4)
+    session.run()
+    yield session
+    session.shutdown()
+
+
+class TestReplayMatchesMarkers:
+    def test_out_of_range_rank_rejected(self, finished_session):
+        """A threshold naming a nonexistent rank used to raise a bare
+        IndexError from ``procs[rank]``; it is a caller error and must
+        say so."""
+        with pytest.raises(ValueError, match=r"rank 99.*4 rank\(s\).*0\.\.3"):
+            replay_matches_markers(
+                finished_session._execution, MarkerVector({99: 1})
+            )
+
+    def test_negative_rank_rejected(self, finished_session):
+        """Negative ranks would silently index from the end of the
+        process list -- also a caller error."""
+        with pytest.raises(ValueError, match="rank -1"):
+            replay_matches_markers(
+                finished_session._execution, MarkerVector({-1: 1})
+            )
+
+    def test_valid_ranks_still_compare(self, finished_session):
+        procs = finished_session.runtime.procs
+        exact = MarkerVector({p.rank: p.marker for p in procs})
+        assert replay_matches_markers(finished_session._execution, exact)
+        off = MarkerVector({0: procs[0].marker + 1})
+        assert not replay_matches_markers(finished_session._execution, off)
+
+    def test_empty_vector_trivially_matches(self, finished_session):
+        assert replay_matches_markers(finished_session._execution, MarkerVector())

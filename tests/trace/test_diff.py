@@ -120,3 +120,66 @@ class TestReplayPrefixVerification:
         d = next(d for d in diff.divergences if d.proc == races[0].recv.proc)
         # The divergence is at (or before) the racing receive.
         assert d.left is not None and d.left.marker <= races[0].recv.marker
+
+
+class TestFirstDivergenceLocations:
+    def test_jsonable_locations(self):
+        """The explorer ships divergence locations across process
+        boundaries; every field must be a plain scalar/string."""
+        import json
+
+        from repro.trace.diff import first_divergence_locations
+
+        def prog_a(comm):
+            comm.compute(1.0)
+
+        def prog_b(comm):
+            comm.compute(1.0)
+            if comm.rank == 1:
+                comm.send("x", dest=0)
+            elif comm.rank == 0:
+                comm.recv(source=1)
+
+        _, ta = traced_run(prog_a, 2)
+        _, tb = traced_run(prog_b, 2)
+        locs = first_divergence_locations(diff_traces(ta, tb))
+        assert len(locs) == 2
+        json.dumps(locs)
+        by_proc = {loc["proc"]: loc for loc in locs}
+        assert by_proc[0]["left"] is None  # prog_a's rank 0 ended early
+        right = by_proc[0]["right"]
+        assert right["kind"] == "recv"
+        assert (right["src"], right["dst"]) == (1, 0)
+
+    def test_identical_traces_yield_no_locations(self):
+        from repro.trace.diff import first_divergence_locations
+
+        _, t1 = traced_run(lambda c: c.compute(1.0), 2)
+        _, t2 = traced_run(lambda c: c.compute(1.0), 2)
+        assert first_divergence_locations(diff_traces(t1, t2)) == []
+
+
+class TestResultsEqual:
+    def test_tolerant_numeric_leaves(self):
+        import numpy as np
+
+        from repro.trace.diff import results_equal
+
+        assert results_equal(1.0, 1.0 + 1e-13)
+        assert not results_equal(1.0, 1.1)
+        assert results_equal([1, (2.0, 3)], [1, (2.0, 3)])
+        assert results_equal(
+            {"a": np.arange(3.0)}, {"a": np.arange(3.0) + 1e-13}
+        )
+        assert not results_equal({"a": 1}, {"b": 1})
+        assert not results_equal([1, 2], [1, 2, 3])
+        assert not results_equal(np.arange(3.0), np.arange(4.0))
+
+    def test_none_and_type_guards(self):
+        from repro.trace.diff import results_equal
+
+        assert results_equal(None, None)
+        assert not results_equal(None, 0.0)
+        assert not results_equal(True, 1)  # bool is not "the number 1" here
+        assert results_equal("same", "same")
+        assert not results_equal("same", "different")
