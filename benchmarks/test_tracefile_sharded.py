@@ -1,0 +1,292 @@
+"""Sharded, compressed, out-of-core trace store at 10M events.
+
+The big-trace tentpole, each claim asserted and measured on a 10M-event
+synthetic halo-exchange trace (64 procs, 8 hash shards, zlib-compressed
+blocks):
+
+(a) **bounded memory**: answering windowed queries through the paged
+    :class:`OutOfCoreIndex` grows RSS by less than 10% of what a full
+    column materialization of the same store costs -- the whole point
+    of paging is that a 100M-event trace never has to fit in memory.
+
+(b) **seek latency**: with a locality-weighted query mix (debugging
+    sessions revisit the same time neighbourhood), the p50
+    ``seek_window`` latency on the paged store is sub-millisecond --
+    cache-resident blocks answer without touching the codec.
+
+(c) **on-disk reduction**: block compression shrinks the stored block
+    bytes by at least 2x versus the raw columnar encoding (measured
+    from the shard footers' ``raw_nbytes`` accounting).
+
+A recorded baseline (``benchmarks/results/tracefile_sharded_baseline
+.json``) gates regressions: the run fails when p50 seek latency rises
+above ``baseline * 2`` or the compression ratio falls below
+``baseline / 2``.  Results land in
+``benchmarks/results/tracefile_sharded.txt``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import resource
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, write_artifact
+from repro.analysis.paged import OutOfCoreIndex
+from repro.mp.datatypes import SourceLocation
+from repro.trace import EventKind, TraceFileReader, TraceShardWriter
+from repro.trace.columnar import (
+    COLUMN_SPEC,
+    DEFAULT_KIND_TABLE,
+    KIND_CODES,
+    ColumnBlock,
+)
+
+N_EVENTS = 10_000_000
+NPROCS = 64
+SHARDS = 8
+#: records per on-disk block, per shard: small blocks keep the paged
+#: seek path sub-ms (mask + materialize cost scales with block size)
+INDEX_BLOCK = 8_192
+#: LRU capacity for the paged phase: bounds resident decoded columns
+#: to ~20 MB against the ~1 GB full materialization
+CACHE_BLOCKS = 24
+#: synthesis chunk handed to ``write_columns`` (split across shards)
+CHUNK = 500_000
+#: inter-event spacing: 10M events over a ~100 s simulated run
+DT = 1e-5
+
+LOCS = [
+    SourceLocation("halo2d.py", 40 + i, name)
+    for i, name in enumerate(["exchange", "pack", "unpack", "sweep"])
+]
+
+BASELINE = RESULTS_DIR / "tracefile_sharded_baseline.json"
+#: CI regression gate: fail on a >2x regression vs the recorded baseline
+REGRESSION_FACTOR = 2.0
+#: the tentpole's absolute floors
+MAX_PAGED_RSS_FRACTION = 0.10
+MAX_P50_SEEK_MS = 1.0
+MIN_COMPRESSION = 2.0
+
+SEND = KIND_CODES[EventKind.SEND]
+RECV = KIND_CODES[EventKind.RECV]
+COMPUTE = KIND_CODES[EventKind.COMPUTE]
+
+
+def _maxrss_mb() -> float:
+    """Peak RSS of this process in MB (ru_maxrss is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def synthesize_chunk(start: int, n: int) -> ColumnBlock:
+    """``n`` events of a 2-D halo exchange, columns built straight in
+    numpy -- no per-record objects anywhere on the write path."""
+    idx = np.arange(start, start + n, dtype=np.int64)
+    proc = (idx % NPROCS).astype(np.int32)
+    rnd = idx // NPROCS
+    phase = (rnd % 3).astype(np.int32)
+    t0 = idx.astype(np.float64) * DT
+    kind = np.where(
+        phase == 0, SEND, np.where(phase == 1, RECV, COMPUTE)
+    ).astype(np.uint8)
+    msg = phase != 2
+    east = ((proc + 1) % NPROCS).astype(np.int32)
+    west = ((proc - 1) % NPROCS).astype(np.int32)
+    none32 = np.full(n, -1, dtype=np.int32)
+    none64 = np.full(n, -1, dtype=np.int64)
+    cols = {
+        "index": idx,
+        "proc": proc,
+        "kind": kind,
+        "t0": t0,
+        "t1": t0 + DT * 0.8,
+        "marker": idx + 1,
+        "src": np.where(phase == 0, proc, np.where(phase == 1, west, none32)),
+        "dst": np.where(phase == 0, east, np.where(phase == 1, proc, none32)),
+        "tag": np.where(msg, np.int32(7), none32),
+        "size": np.where(msg, np.int64(8192), np.int64(0)),
+        "seq": np.where(msg, rnd, none64),
+        "peer_marker": none64,
+        "peer_time": np.full(n, -1.0),
+        "construct_id": none32,
+        "loc": (proc % len(LOCS)).astype(np.int32),
+        "ploc": none32,
+        "extra": none32,
+    }
+    columns = {
+        name: np.ascontiguousarray(cols[name], dtype=dt)
+        for name, dt in COLUMN_SPEC
+    }
+    return ColumnBlock(
+        columns=columns, locations=LOCS, peer_locations=[], extras=[],
+        kind_table=DEFAULT_KIND_TABLE,
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded_store(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("tracefile_sharded")
+    path = tmp / "halo2d.trace"
+    t0 = time.perf_counter()
+    with TraceShardWriter(
+        path, nprocs=NPROCS, by="hash", shards=SHARDS,
+        index_block=INDEX_BLOCK, compression="auto",
+    ) as w:
+        for start in range(0, N_EVENTS, CHUNK):
+            w.write_columns(synthesize_chunk(start, min(CHUNK, N_EVENTS - start)))
+    write_wall = time.perf_counter() - t0
+    return path, write_wall
+
+
+def test_sharded_store_scales_to_10m_events(sharded_store):
+    path, write_wall = sharded_store
+    reader = TraceFileReader(path)
+    assert reader.sharded
+
+    # -- (c) on-disk reduction, from the shard footers' accounting -----
+    refs = reader.block_entries()
+    assert sum(ref.entry.count for ref in refs) == N_EVENTS
+    comp_bytes = sum(ref.entry.nbytes for ref in refs)
+    raw_bytes = sum(ref.entry.raw_nbytes or ref.entry.nbytes for ref in refs)
+    compression = raw_bytes / comp_bytes
+    assert compression >= MIN_COMPRESSION, (
+        f"blocks compressed only {compression:.2f}x "
+        f"(tentpole floor {MIN_COMPRESSION}x)"
+    )
+
+    # -- (a)+(b) paged phase FIRST: ru_maxrss is a monotonic high-water
+    # mark, so the bounded-memory phase must run before the full load.
+    gc.collect()
+    rss_base = _maxrss_mb()
+    paged = OutOfCoreIndex(TraceFileReader(path), cache_blocks=CACHE_BLOCKS)
+    span_lo, span_hi = paged.span
+    width = 200 * DT  # ~200 events per window
+
+    # locality-weighted query mix: a debugging session dwells on one
+    # neighbourhood (85% of seeks, narrow enough that its blocks stay
+    # cache-resident) with occasional far jumps (15%)
+    rng = np.random.default_rng(7)
+    hot_lo = span_lo + (span_hi - span_lo) * 0.40
+    hot_hi = hot_lo + (span_hi - span_lo) * 0.003
+    latencies_ms = []
+    total_hits = 0
+    for i in range(200):
+        if rng.random() < 0.85:
+            lo = float(rng.uniform(hot_lo, hot_hi))
+        else:
+            lo = float(rng.uniform(span_lo, span_hi - width))
+        start = time.perf_counter()
+        hits = paged.seek_window(lo, lo + width)
+        latencies_ms.append((time.perf_counter() - start) * 1e3)
+        total_hits += len(hits)
+    assert total_hits > 0
+    stats = paged.stats()
+    assert paged.cached_blocks <= CACHE_BLOCKS
+    p50 = statistics.median(latencies_ms)
+    p95 = sorted(latencies_ms)[int(0.95 * len(latencies_ms))]
+    assert p50 <= MAX_P50_SEEK_MS, (
+        f"p50 seek_window {p50:.3f} ms (tentpole ceiling "
+        f"{MAX_P50_SEEK_MS} ms)"
+    )
+    gc.collect()
+    paged_rss = max(_maxrss_mb() - rss_base, 0.0)
+    del paged
+
+    # -- full materialization: every column of all 10M events ----------
+    gc.collect()
+    rss_full_base = _maxrss_mb()
+    t0 = time.perf_counter()
+    block = TraceFileReader(path).read_columns()
+    full_wall = time.perf_counter() - t0
+    assert len(block) == N_EVENTS
+    full_rss = _maxrss_mb() - rss_full_base
+    resident_mb = sum(c.nbytes for c in block.columns.values()) / 1e6
+    del block
+    gc.collect()
+
+    assert full_rss > 0, "full load did not move the RSS high-water mark"
+    rss_fraction = paged_rss / full_rss
+    assert rss_fraction < MAX_PAGED_RSS_FRACTION, (
+        f"paged queries grew RSS by {paged_rss:.0f} MB = "
+        f"{rss_fraction:.1%} of the {full_rss:.0f} MB full load "
+        f"(tentpole ceiling {MAX_PAGED_RSS_FRACTION:.0%})"
+    )
+
+    # -- regression gate against the recorded baseline -----------------
+    gate_line = "baseline: (none; recorded this run)"
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+        p50_ceiling = baseline["p50_seek_ms"] * REGRESSION_FACTOR
+        comp_floor = baseline["compression"] / REGRESSION_FACTOR
+        gate_line = (
+            f"baseline p50 {baseline['p50_seek_ms']:.3f} ms "
+            f"(ceiling {p50_ceiling:.3f}), compression "
+            f"{baseline['compression']:.1f}x (floor {comp_floor:.1f}x)"
+        )
+        assert p50 <= p50_ceiling, (
+            f"paged seek p50 regressed: {p50:.3f} ms vs "
+            f"{baseline['p50_seek_ms']:.3f} ms baseline"
+        )
+        assert compression >= comp_floor, (
+            f"compression regressed: {compression:.2f}x vs "
+            f"{baseline['compression']:.2f}x baseline"
+        )
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BASELINE.write_text(
+            json.dumps({
+                "p50_seek_ms": round(p50, 4),
+                "compression": round(compression, 2),
+                "events": N_EVENTS,
+            }) + "\n"
+        )
+
+    disk_mb = sum(
+        p.stat().st_size for p in path.parent.iterdir()
+    ) / 1e6
+    write_artifact(
+        "tracefile_sharded.txt",
+        "\n".join([
+            "Sharded + compressed trace store, out-of-core queries",
+            f"trace: {N_EVENTS / 1e6:.0f}M events, {NPROCS} procs, "
+            f"{SHARDS} hash shards, zlib blocks of {INDEX_BLOCK} records",
+            "",
+            f"  write             : {write_wall:7.2f} s  "
+            f"({N_EVENTS / write_wall / 1e6:.2f}M rec/s, bulk columns)",
+            f"  on-disk           : {disk_mb:7.1f} MB total "
+            f"({raw_bytes / 1e6:.0f} MB raw blocks, "
+            f"{compression:.1f}x compression, floor {MIN_COMPRESSION}x)",
+            f"  full column load  : {full_wall:7.2f} s, "
+            f"+{full_rss:.0f} MB RSS ({resident_mb:.0f} MB columns)",
+            f"  paged queries     : 200 seeks, p50 {p50:.3f} ms, "
+            f"p95 {p95:.1f} ms (ceiling p50 {MAX_P50_SEEK_MS} ms)",
+            f"  paged RSS growth  : +{paged_rss:.0f} MB = "
+            f"{rss_fraction:.1%} of full load "
+            f"(ceiling {MAX_PAGED_RSS_FRACTION:.0%})",
+            f"  paged cache       : {stats.block_loads} block loads, "
+            f"{stats.cache_hits} hits ({stats.hit_rate:.0%}), "
+            f"{stats.evictions} evictions, "
+            f"<={CACHE_BLOCKS} blocks resident",
+            f"  {gate_line}",
+        ]),
+    )
+
+
+def test_sharded_windows_match_linear_scan(sharded_store):
+    """Fidelity spot-check: an indexed fan-out window equals a linear
+    filter over the merged stream in a mid-trace slice."""
+    path, _ = sharded_store
+    reader = TraceFileReader(path)
+    lo, hi = 33.0, 33.001
+    got = reader.seek_window(lo, hi)
+    assert got == sorted(got, key=lambda r: r.index)
+    assert all(r.t1 >= lo and r.t0 <= hi for r in got)
+    # the same slice through the paged index agrees
+    paged = OutOfCoreIndex(TraceFileReader(path), cache_blocks=4)
+    assert paged.seek_window(lo, hi) == got

@@ -23,6 +23,7 @@ from .history import (
     StaleIndexError,
     ensure_index,
 )
+from .paged import BlockCache, OutOfCoreIndex, PagedStats
 from .deadlock import (
     DeadlockReport,
     analyze_deadlock,
@@ -75,6 +76,9 @@ __all__ = [
     "HistoryIndex",
     "IndexSink",
     "IndexStats",
+    "BlockCache",
+    "OutOfCoreIndex",
+    "PagedStats",
     "StaleIndexError",
     "ensure_index",
     "FunctionStats",

@@ -80,6 +80,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.trace.columnar import ColumnBlock
     from repro.trace.tracefile import TraceFileReader
 
+    from .paged import OutOfCoreIndex
+
 
 class StaleIndexError(RuntimeError):
     """A query hit an index whose execution generation was discarded."""
@@ -313,14 +315,42 @@ class HistoryIndex:
 
     @classmethod
     def from_file(
-        cls, reader: "TraceFileReader", generation: int = 0, engine: str = "numpy"
-    ) -> "HistoryIndex":
+        cls,
+        reader: "TraceFileReader",
+        generation: int = 0,
+        engine: str = "numpy",
+        *,
+        paged: bool = False,
+        cache_blocks: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+    ) -> "HistoryIndex | OutOfCoreIndex":
         """Index a trace file through the bulk columnar path.
 
         Uses :meth:`TraceFileReader.read_columns`, so a v3 file is
         ingested column-wise (no per-record JSON parsing); v1/v2 files
         bridge through the record path transparently.
+
+        ``paged=True`` returns an
+        :class:`~repro.analysis.paged.OutOfCoreIndex` instead: only
+        block metadata is read now, record data is paged in per window
+        query through a bounded LRU (``cache_blocks``/``cache_bytes``)
+        -- resident memory stays O(cache) rather than O(trace).  The
+        paged facade serves window queries only; build an in-memory
+        index for the global derivations (clocks, matching).
         """
+        if paged:
+            from .paged import OutOfCoreIndex
+
+            kwargs: dict = {}
+            if cache_blocks is not None:
+                kwargs["cache_blocks"] = cache_blocks
+            if cache_bytes is not None:
+                kwargs["cache_bytes"] = cache_bytes
+            return OutOfCoreIndex(reader, **kwargs)
+        if cache_blocks is not None or cache_bytes is not None:
+            raise ValueError(
+                "cache_blocks/cache_bytes apply to paged=True only"
+            )
         index = cls(nprocs=reader.nprocs, generation=generation, engine=engine)
         index.extend_columns(reader.read_columns())
         return index

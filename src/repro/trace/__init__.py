@@ -38,6 +38,7 @@ from .sinks import (
     pump,
 )
 from .columnar import ColumnBlock, ColumnDecodeError
+from .shard import ShardManifest, TraceShardWriter
 from .trace import MessagePair, Trace, ensure_trace, merge_traces
 from .tracefile import (
     FORMAT_VERSION,
@@ -60,6 +61,7 @@ __all__ = [
     "GraphSink",
     "MemorySink",
     "RingBufferSink",
+    "ShardManifest",
     "TraceBus",
     "TraceDiff",
     "TraceSink",
@@ -82,6 +84,7 @@ __all__ = [
     "TraceIndex",
     "TraceRecord",
     "TraceRecorder",
+    "TraceShardWriter",
     "load_trace",
     "merge_traces",
     "save_trace",

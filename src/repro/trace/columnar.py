@@ -266,11 +266,23 @@ class ColumnBlock:
     # columnar operations
     # ------------------------------------------------------------------
     def filter(self, mask: np.ndarray) -> "ColumnBlock":
-        """A sub-block of the rows where ``mask`` is True.  Side tables
-        are shared (ids stay valid); columns are copied by the fancy
-        index."""
+        """A sub-block of the rows where ``mask`` is True (also accepts
+        an integer gather/reorder array).  Side tables are shared (ids
+        stay valid); columns are copied by the fancy index."""
         return ColumnBlock(
             columns={name: arr[mask] for name, arr in self.columns.items()},
+            locations=self.locations,
+            peer_locations=self.peer_locations,
+            extras=self.extras,
+            kind_table=self.kind_table,
+        )
+
+    def slice(self, start: int, stop: int) -> "ColumnBlock":
+        """A zero-copy sub-block of rows ``[start, stop)``: columns are
+        views, side tables shared.  The chunking primitive behind bulk
+        column writes (``TraceFileWriter.write_columns``)."""
+        return ColumnBlock(
+            columns={name: arr[start:stop] for name, arr in self.columns.items()},
             locations=self.locations,
             peer_locations=self.peer_locations,
             extras=self.extras,
@@ -345,22 +357,72 @@ class ColumnBlock:
 # ----------------------------------------------------------------------
 def encode_block(records: Sequence[TraceRecord]) -> bytes:
     """Records -> one self-delimiting binary block."""
-    block = ColumnBlock.from_records(records)
+    return encode_columns(ColumnBlock.from_records(records))
+
+
+def _compact_side_column(
+    col: np.ndarray, table: Sequence
+) -> tuple[np.ndarray, list]:
+    """Rebase a side-table id column onto a table holding only the
+    entries the column references (-1 ids pass through).
+
+    A sliced/filtered block shares its parent's side tables, so its id
+    columns may reference entries no row of the slice uses; serializing
+    the full parent table per chunk would duplicate it across every
+    block of a bulk write.
+    """
+    if col.size == 0 or not table:
+        return col, []
+    used = np.unique(col)
+    used = used[used >= 0]
+    if used.size == len(table) and (
+        used.size == 0 or int(used[-1]) == len(table) - 1
+    ):
+        return col, list(table)  # already dense and fully referenced
+    remap = np.full(len(table), -1, dtype=col.dtype)
+    remap[used] = np.arange(used.size, dtype=col.dtype)
+    out = np.where(col >= 0, remap[np.minimum(np.maximum(col, 0), len(table) - 1)], col)
+    return out.astype(col.dtype, copy=False), [table[int(i)] for i in used.tolist()]
+
+
+def encode_columns(block: ColumnBlock) -> bytes:
+    """One :class:`ColumnBlock` -> one self-delimiting binary block.
+
+    The column-side twin of :func:`encode_block`: bulk writers
+    (``TraceFileWriter.write_columns``, shard re-encoding, format
+    conversion) feed decoded or synthesized blocks straight back to
+    disk without materializing record objects.  Kind codes carried
+    under a foreign (file) kind table are re-encoded to the writer
+    table; side tables are compacted to the entries the block's rows
+    actually reference, so sliced blocks don't serialize their parent's
+    whole table.
+    """
+    count = len(block)
+    cols = dict(block.columns)
+    if block.kind_table != DEFAULT_KIND_TABLE:
+        cols["kind"] = kind_code_lut(block.kind_table)[cols["kind"]]
+    loc_col, locations = _compact_side_column(cols["loc"], block.locations)
+    ploc_col, peer_locations = _compact_side_column(
+        cols["ploc"], block.peer_locations
+    )
+    extra_col, extras = _compact_side_column(cols["extra"], block.extras)
+    cols["loc"], cols["ploc"], cols["extra"] = loc_col, ploc_col, extra_col
     col_bytes = b"".join(
-        block.columns[name].tobytes() for name, _ in COLUMN_SPEC
+        np.ascontiguousarray(cols[name], dtype=dt).tobytes()
+        for name, dt in COLUMN_SPEC
     )
     payload = json.dumps(
         {
-            "locs": [[l.filename, l.lineno, l.function] for l in block.locations],
+            "locs": [[l.filename, l.lineno, l.function] for l in locations],
             "plocs": [
-                [l.filename, l.lineno, l.function] for l in block.peer_locations
+                [l.filename, l.lineno, l.function] for l in peer_locations
             ],
-            "extras": block.extras,
+            "extras": extras,
         },
         ensure_ascii=False,
         separators=(",", ":"),
     ).encode("utf-8")
-    header = BLOCK_HEADER.pack(BLOCK_MAGIC, len(records), len(col_bytes), len(payload))
+    header = BLOCK_HEADER.pack(BLOCK_MAGIC, count, len(col_bytes), len(payload))
     return header + col_bytes + payload
 
 
@@ -437,6 +499,7 @@ __all__: list[str] = [
     "columns_to_records",
     "decode_block",
     "encode_block",
+    "encode_columns",
     "kind_code_lut",
     "kind_table_from_values",
     "peek_block",

@@ -59,17 +59,35 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence, Union
 
+import numpy as np
+
 from .columnar import (
     ColumnBlock,
     ColumnDecodeError,
     decode_block,
     encode_block,
+    encode_columns,
     kind_table_from_values,
+)
+from .compression import (
+    CODECS,
+    CODECS_BY_CODE,
+    CODECS_BY_ENCODING,
+    COMPRESSED_HEADER,
+    COMPRESSED_MAGIC,
+    KNOWN_ENCODINGS,
+    Codec,
+    compress_frame,
+    decompress_frame,
+    is_compressed_at,
+    resolve_codec,
 )
 from .events import EventKind, TraceRecord
 from .trace import Trace
 
 FORMAT_NAME = "repro-trace"
+#: header format tag of a shard manifest (see :mod:`repro.trace.shard`)
+MANIFEST_FORMAT_NAME = "repro-trace-manifest"
 FORMAT_VERSION = 3
 #: versions this reader understands
 SUPPORTED_VERSIONS = frozenset({1, 2, 3})
@@ -93,7 +111,11 @@ class IndexBlock:
     """One contiguous run of records summarized in the footer.
 
     ``encoding`` records how the byte range is encoded: ``"jsonl"``
-    (v1/v2 record lines) or ``"columnar"`` (a v3 binary block).
+    (v1/v2 record lines), ``"columnar"`` (a raw v3 binary block), or
+    ``"columnar+<codec>"`` (a v3 block compressed per-block, e.g.
+    ``"columnar+zstd"`` / ``"columnar+zlib"``).  For compressed blocks
+    ``raw_nbytes`` additionally records the decompressed block size --
+    the observability hook behind the CLI's compression-ratio report.
     """
 
     offset: int
@@ -103,6 +125,7 @@ class IndexBlock:
     t_max: float
     procs: frozenset[int]
     encoding: str = "jsonl"
+    raw_nbytes: Optional[int] = None
 
     def overlaps(
         self, t_lo: float, t_hi: float, procs: Optional[set[int]]
@@ -126,13 +149,30 @@ class IndexBlock:
         ]
         if self.encoding != "jsonl":
             out.append(self.encoding)
+            if self.raw_nbytes is not None:
+                out.append(self.raw_nbytes)
         return out
 
     @classmethod
     def from_jsonable(cls, data: list) -> "IndexBlock":
         off, nbytes, count, t_min, t_max, procs, *rest = data
         encoding = rest[0] if rest else "jsonl"
-        return cls(off, nbytes, count, t_min, t_max, frozenset(procs), encoding)
+        raw_nbytes = rest[1] if len(rest) > 1 else None
+        return cls(
+            off, nbytes, count, t_min, t_max, frozenset(procs), encoding,
+            raw_nbytes,
+        )
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """A pointer to one on-disk block: ``(shard id or None, entry)``.
+
+    The unit the out-of-core index pages on; hashable so it can key a
+    block cache."""
+
+    shard: Optional[int]
+    entry: IndexBlock
 
 
 @dataclass(frozen=True)
@@ -203,6 +243,13 @@ class TraceFileWriter:
         footer-less layout.
     index_block:
         Records per index block (v2/v3).
+    compression:
+        Per-block compression for v3 bodies: ``None``/``"none"`` (the
+        default -- bytes identical to pre-compression writers),
+        ``"auto"`` (zstd when available, else zlib), or an explicit
+        codec name (``"zstd"``/``"zlib"``; raises when unavailable).
+        Readers pick the codec per block from the on-disk frame, so
+        compressed and raw blocks coexist in one file.
     """
 
     def __init__(
@@ -214,11 +261,20 @@ class TraceFileWriter:
         durable: bool = False,
         version: int = FORMAT_VERSION,
         index_block: int = DEFAULT_INDEX_BLOCK,
+        compression: Union[None, bool, str, Codec] = None,
     ) -> None:
         if version not in SUPPORTED_VERSIONS:
             raise TraceFileError(f"cannot write format version {version!r}")
         if index_block < 1:
             raise ValueError(f"index_block must be >= 1, got {index_block}")
+        try:
+            self._codec = resolve_codec(compression)
+        except LookupError as exc:
+            raise TraceFileError(str(exc)) from None
+        if self._codec is not None and version < 3:
+            raise TraceFileError(
+                f"compression requires format v3 blocks, not v{version}"
+            )
         self.path = Path(path)
         self.nprocs = nprocs
         self.auto_flush_every = auto_flush_every
@@ -301,6 +357,40 @@ class TraceFileWriter:
         self._buffer.clear()
         return n
 
+    def _append_block(
+        self,
+        raw: bytes,
+        count: int,
+        t_min: float,
+        t_max: float,
+        procs: frozenset[int],
+    ) -> None:
+        """Write one encoded raw block (compressing when configured)
+        and record its footer entry."""
+        if self._codec is not None:
+            data = compress_frame(raw, self._codec)
+            encoding = self._codec.encoding
+            raw_nbytes: Optional[int] = len(raw)
+        else:
+            data = raw
+            encoding = "columnar"
+            raw_nbytes = None
+        offset = self._offset
+        self._fh.write(data)
+        self._offset += len(data)
+        self._blocks.append(
+            IndexBlock(
+                offset=offset,
+                nbytes=len(data),
+                count=count,
+                t_min=t_min,
+                t_max=t_max,
+                procs=procs,
+                encoding=encoding,
+                raw_nbytes=raw_nbytes,
+            )
+        )
+
     def _flush_v3(self) -> int:
         """Encode buffered records into columnar blocks and write them.
 
@@ -316,20 +406,12 @@ class TraceFileWriter:
         try:
             for start in range(0, len(buf), self.index_block):
                 chunk = buf[start : start + self.index_block]
-                data = encode_block(chunk)
-                offset = self._offset
-                self._fh.write(data)
-                self._offset += len(data)
-                self._blocks.append(
-                    IndexBlock(
-                        offset=offset,
-                        nbytes=len(data),
-                        count=len(chunk),
-                        t_min=min(r.t0 for r in chunk),
-                        t_max=max(r.t1 for r in chunk),
-                        procs=frozenset(r.proc for r in chunk),
-                        encoding="columnar",
-                    )
+                self._append_block(
+                    encode_block(chunk),
+                    count=len(chunk),
+                    t_min=min(r.t0 for r in chunk),
+                    t_max=max(r.t1 for r in chunk),
+                    procs=frozenset(r.proc for r in chunk),
                 )
                 flushed += len(chunk)
         finally:
@@ -340,6 +422,52 @@ class TraceFileWriter:
             if self.durable:
                 os.fsync(self._fh.fileno())
         return flushed
+
+    def write_columns(self, block: ColumnBlock) -> int:
+        """Bulk-append a decoded/synthesized :class:`ColumnBlock`.
+
+        The write-side twin of :meth:`TraceFileReader.read_columns`:
+        rows go to disk in ``index_block``-sized blocks encoded
+        directly from the column arrays (no record materialization),
+        which is what makes writing 10M+-event traces tractable.  Any
+        buffered per-record writes are flushed first so on-disk order
+        matches emit order.  Record ``index`` values are written as
+        carried by the block (bulk sources are expected to supply the
+        global recording order).  Returns the number of records
+        written; v1/v2 writers bridge through the record path.
+        """
+        if self._closed:
+            raise TraceFileError(f"writer for {self.path} is closed")
+        n = len(block)
+        if n == 0:
+            return 0
+        if self.version < 3:
+            for rec in block.to_records():
+                self.write(rec)
+            return n
+        self.flush()
+        t0s = block.columns["t0"]
+        t1s = block.columns["t1"]
+        procs_col = block.columns["proc"]
+        try:
+            for start in range(0, n, self.index_block):
+                stop = min(start + self.index_block, n)
+                chunk = block.slice(start, stop)
+                self._append_block(
+                    encode_columns(chunk),
+                    count=stop - start,
+                    t_min=float(t0s[start:stop].min()),
+                    t_max=float(t1s[start:stop].max()),
+                    procs=frozenset(
+                        np.unique(procs_col[start:stop]).tolist()
+                    ),
+                )
+                self._written += stop - start
+        finally:
+            self._fh.flush()
+            if self.durable:
+                os.fsync(self._fh.fileno())
+        return n
 
     # ------------------------------------------------------------------
     def _build_index(self) -> TraceIndex:
@@ -436,6 +564,27 @@ class TraceFileReader:
             header = json.loads(header_line.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise TraceFileError(f"{self.path}: bad header: {exc}") from exc
+        self.skipped_lines = 0
+        self.last_skipped_lines = 0
+        self.bytes_read = 0
+        #: sharded fan-out state when ``path`` is a shard manifest
+        self._shards = None
+        if isinstance(header, dict) and header.get("format") == (
+            MANIFEST_FORMAT_NAME
+        ):
+            # manifest-aware mode: this "file" is a shard manifest; all
+            # record access fans out across the shard files (opened
+            # lazily) with an ordered merge on the global record index.
+            from .shard import ShardSet
+
+            self._shards = ShardSet(self.path, header)
+            self.version = FORMAT_VERSION
+            self.nprocs = self._shards.manifest.nprocs
+            self._kind_table = kind_table_from_values(
+                self._shards.manifest.kinds
+            )
+            self.index = None
+            return
         if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
             got = header.get("format") if isinstance(header, dict) else header
             raise TraceFileError(
@@ -448,12 +597,31 @@ class TraceFileReader:
         self.version: int = header["version"]
         self.nprocs: int = header["nprocs"]
         self._kind_table = kind_table_from_values(header.get("kinds"))
-        self.skipped_lines = 0
-        self.last_skipped_lines = 0
-        self.bytes_read = 0
         self.index: Optional[TraceIndex] = (
             self._load_index() if self.version >= 2 else None
         )
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this reader fronts a shard manifest."""
+        return self._shards is not None
+
+    @property
+    def manifest(self):
+        """The :class:`~repro.trace.shard.ShardManifest`, or None."""
+        return self._shards.manifest if self._shards is not None else None
+
+    @property
+    def shards_opened(self) -> int:
+        """How many shard files this reader has actually opened -- the
+        observable behind the fan-out short-circuit guarantees (a
+        window that excludes a shard must not open it)."""
+        return self._shards.opened if self._shards is not None else 0
+
+    def _sync_shard_counters(self) -> None:
+        self.bytes_read = self._shards.bytes_read
+        self.skipped_lines = self._shards.skipped_lines
+        self.last_skipped_lines = self._shards.last_skipped_lines
 
     # ------------------------------------------------------------------
     # index loading
@@ -495,10 +663,12 @@ class TraceFileReader:
 
     @property
     def has_index(self) -> bool:
-        return self.index is not None
+        return self.index is not None or self._shards is not None
 
     def span(self) -> tuple[float, float]:
         """(earliest t0, latest t1); indexed files answer without a scan."""
+        if self._shards is not None:
+            return self._shards.manifest.span
         if self.index is not None:
             return (self.index.t_min, self.index.t_max)
         t_min, t_max, seen = 0.0, 0.0, False
@@ -556,7 +726,12 @@ class TraceFileReader:
                 self._damage(tolerant, "unexpected text between blocks")
                 return
             try:
-                block, nxt = decode_block(buf, offset, self._kind_table)
+                if is_compressed_at(buf, offset):
+                    raw, frame_nbytes, _ = decompress_frame(buf, offset)
+                    block, _ = decode_block(raw, 0, self._kind_table)
+                    nxt = offset + frame_nbytes
+                else:
+                    block, nxt = decode_block(buf, offset, self._kind_table)
             except ColumnDecodeError as exc:
                 self._damage(tolerant, str(exc))
                 return
@@ -592,7 +767,18 @@ class TraceFileReader:
         self.bytes_read += sum(b.nbytes for b in entries)
 
         def job(entry: IndexBlock) -> ColumnBlock:
+            if entry.encoding not in KNOWN_ENCODINGS:
+                raise TraceFileError(
+                    f"{self.path}: block at offset {entry.offset} has "
+                    f"unknown encoding {entry.encoding!r}; this file was "
+                    "written by a newer version of the format"
+                )
             try:
+                if entry.encoding in CODECS_BY_ENCODING or is_compressed_at(
+                    buf, entry.offset
+                ):
+                    raw, _, _ = decompress_frame(buf, entry.offset)
+                    return decode_block(raw, 0, kind_table)[0]
                 return decode_block(buf, entry.offset, kind_table)[0]
             except ColumnDecodeError as exc:
                 raise TraceFileError(
@@ -607,6 +793,43 @@ class TraceFileReader:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(job, entries))
         return [job(e) for e in entries]
+
+    # ------------------------------------------------------------------
+    # block-granular access (the out-of-core paging substrate)
+    # ------------------------------------------------------------------
+    def block_entries(self) -> list["BlockRef"]:
+        """Every indexed block, in global record order, as
+        ``(shard, entry)`` references.
+
+        The planning substrate for :class:`~repro.analysis.paged.
+        OutOfCoreIndex`: block metadata (span, procs, count) without
+        touching any record bytes.  Single files list ``shard=None``;
+        manifests list each shard's footer entries.  Requires an index
+        (raises for footerless files -- run ``reindex`` first).
+        """
+        if self._shards is not None:
+            return self._shards.block_entries()
+        if self.index is None:
+            raise TraceFileError(
+                f"{self.path}: block-granular access needs an index "
+                "footer; run `python -m repro.trace.tracefile reindex` "
+                "to rebuild it"
+            )
+        if self.version < 3:
+            raise TraceFileError(
+                f"{self.path}: block-granular paging requires format v3; "
+                "convert the file first"
+            )
+        return [BlockRef(None, entry) for entry in self.index.blocks]
+
+    def load_block(self, ref: "BlockRef") -> ColumnBlock:
+        """Decode the single block ``ref`` points at (paging in one
+        block's columns, nothing else)."""
+        if self._shards is not None:
+            block = self._shards.load_block(ref)
+            self._sync_shard_counters()
+            return block
+        return self._decode_index_blocks([ref.entry], parallel=False)[0]
 
     # ------------------------------------------------------------------
     # linear streaming
@@ -651,6 +874,10 @@ class TraceFileReader:
         read's count alone.
         """
         self.last_skipped_lines = 0
+        if self._shards is not None:
+            yield from self._shards.iter_records(where, tolerant)
+            self._sync_shard_counters()
+            return
         if self.version >= 3:
             for _, _, block in self._iter_v3_blocks(tolerant):
                 for rec in block.to_records():
@@ -679,8 +906,14 @@ class TraceFileReader:
         blocks the columnar blocks are decoded by the parallel loader
         and merged in file order; footerless v3 files and v1/v2 files
         use the linear path.  ``parallel`` forces the choice (None =
-        automatic).
+        automatic).  On a shard manifest every shard is read and the
+        streams are merged in global record order (record-for-record
+        identical to the single-file layout).
         """
+        if self._shards is not None:
+            out = self._shards.read_all(tolerant, parallel)
+            self._sync_shard_counters()
+            return out
         if self.version < 3:
             return list(self.iter_records(tolerant=tolerant))
         self.last_skipped_lines = 0
@@ -730,6 +963,12 @@ class TraceFileReader:
         hi = math.inf if t_hi is None else t_hi
         if lo > hi or (procs is not None and not procs):
             return ColumnBlock.empty()
+        if self._shards is not None:
+            block = self._shards.read_columns(
+                lo, hi, procs, windowed, parallel, tolerant
+            )
+            self._sync_shard_counters()
+            return block
         if self.version < 3:
             if windowed:
                 records = self.seek_window(lo, hi, procs)
@@ -784,6 +1023,11 @@ class TraceFileReader:
         """
         if t_lo > t_hi or (procs is not None and not procs):
             return []
+
+        if self._shards is not None:
+            out = self._shards.seek_window(t_lo, t_hi, procs, parallel)
+            self._sync_shard_counters()
+            return out
 
         if self.version >= 3:
             return self._seek_window_v3(t_lo, t_hi, procs, use_index, parallel)
@@ -849,10 +1093,43 @@ class TraceFileReader:
 
 
 def save_trace(
-    trace: Trace, path: Union[str, Path], version: int = FORMAT_VERSION
+    trace: Trace,
+    path: Union[str, Path],
+    version: int = FORMAT_VERSION,
+    *,
+    compression: Union[None, bool, str, Codec] = None,
+    shards: Union[None, int, str] = None,
 ) -> None:
-    """Write an in-memory trace to a file in one shot."""
-    with TraceFileWriter(path, trace.nprocs, version=version) as writer:
+    """Write an in-memory trace to a file in one shot.
+
+    ``compression`` selects per-block compression (``"auto"``/codec
+    name/None).  ``shards`` writes a sharded store instead of a single
+    file: ``"proc"`` for one shard per rank, or a count for hash
+    routing; the path then names the manifest.
+    """
+    if shards is not None:
+        from .shard import TraceShardWriter
+
+        if version != FORMAT_VERSION:
+            raise TraceFileError(
+                "sharded traces are always written in the current version"
+            )
+        if shards == "proc":
+            routing: dict = {"by": "proc"}
+        else:
+            routing = {"by": "hash", "shards": shards}
+        with TraceShardWriter(
+            path,
+            trace.nprocs,
+            compression="auto" if compression is None else compression,
+            **routing,
+        ) as shard_writer:
+            for rec in trace:
+                shard_writer.write(rec)
+        return
+    with TraceFileWriter(
+        path, trace.nprocs, version=version, compression=compression
+    ) as writer:
         for rec in trace:
             writer.write(rec)
 
@@ -865,9 +1142,54 @@ def load_trace(path: Union[str, Path]) -> Trace:
 # ----------------------------------------------------------------------
 # CLI: python -m repro.trace.tracefile {info,convert,reindex}
 # ----------------------------------------------------------------------
+def _print_encoding_stats(blocks: Sequence[IndexBlock]) -> None:
+    """Per-encoding block/byte breakdown, with compression ratios where
+    the footer carried the raw size."""
+    by_enc: dict[str, list[IndexBlock]] = {}
+    for b in blocks:
+        by_enc.setdefault(b.encoding, []).append(b)
+    for enc in sorted(by_enc):
+        group = by_enc[enc]
+        disk = sum(b.nbytes for b in group)
+        line = (
+            f"  {enc:<14s}: {len(group)} block(s), "
+            f"{sum(b.count for b in group)} records, {disk} bytes"
+        )
+        raw = sum(b.raw_nbytes for b in group if b.raw_nbytes is not None)
+        if raw and disk:
+            line += f" ({raw} raw, {raw / disk:.2f}x compression)"
+        print(line)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     reader = TraceFileReader(args.path)
     print(f"path    : {reader.path}")
+    if reader.sharded:
+        m = reader.manifest
+        print(
+            f"format  : {MANIFEST_FORMAT_NAME} "
+            f"(v{reader.version} shards), nprocs {m.nprocs}"
+        )
+        print(f"records : {m.records} (from manifest)")
+        print(f"span    : {m.t_min:.6g} .. {m.t_max:.6g}")
+        print(
+            f"shards  : {m.nshards} file(s), routed by {m.by}, "
+            f"{sum(s.nbytes for s in m.shards)} bytes on disk"
+        )
+        for k, s in enumerate(m.shards):
+            span = (
+                f"span {s.t_min:.6g} .. {s.t_max:.6g}"
+                if s.records
+                else "empty"
+            )
+            print(
+                f"  [{k:>3d}] {s.path}: {s.records} records, "
+                f"{len(s.procs)} proc(s), {span}, {s.nbytes} bytes"
+            )
+        entries = [ref.entry for ref in reader.block_entries()]
+        print(f"index   : {len(entries)} block(s) across shard footers")
+        _print_encoding_stats(entries)
+        return 0
     print(
         f"format  : {FORMAT_NAME} v{reader.version}, nprocs {reader.nprocs}"
     )
@@ -891,6 +1213,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
                 f"  bytes/block   : min {min(nbytes)}  "
                 f"mean {sum(nbytes) / len(nbytes):.1f}  max {max(nbytes)}"
             )
+            _print_encoding_stats(idx.blocks)
         return 0
     # footerless: one linear scan
     if reader.version >= 3:
@@ -919,23 +1242,66 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_convert(args: argparse.Namespace) -> int:
     reader = TraceFileReader(args.src)
-    records = reader.read_all(tolerant=True)
-    with TraceFileWriter(
-        args.dst,
-        reader.nprocs,
-        version=args.to,
-        index_block=args.index_block,
-    ) as writer:
-        for rec in records:
-            writer.write(rec)
+    sharded_out = args.shards is not None or args.by is not None
+    if sharded_out:
+        if args.to != FORMAT_VERSION:
+            print(
+                "error: sharded output is always written in the current "
+                "format version; drop --to",
+                file=sys.stderr,
+            )
+            return 2
+        by = args.by or "hash"
+        if by == "proc" and args.shards is not None:
+            print(
+                "error: --shards applies to --by hash only (--by proc "
+                "writes one shard per rank)",
+                file=sys.stderr,
+            )
+            return 2
+        from .shard import TraceShardWriter
+
+        writer: Union[TraceFileWriter, "TraceShardWriter"] = TraceShardWriter(
+            args.dst,
+            reader.nprocs,
+            by=by,
+            shards=args.shards,
+            index_block=args.index_block,
+            compression=args.compress,
+        )
+    else:
+        writer = TraceFileWriter(
+            args.dst,
+            reader.nprocs,
+            version=args.to,
+            index_block=args.index_block,
+            compression=args.compress if args.to >= 3 else None,
+        )
+    count = 0
+    with writer:
+        if args.to >= 3 and reader.version >= 3 and reader.has_index:
+            if reader.sharded:
+                # the manifest read returns globally-ordered columns
+                count = writer.write_columns(reader.read_columns())
+            else:
+                # stream block by block: peak memory is one block
+                for ref in reader.block_entries():
+                    count += writer.write_columns(reader.load_block(ref))
+        else:
+            for rec in reader.iter_records(tolerant=True):
+                writer.write(rec)
+                count += 1
     note = (
         f" ({reader.skipped_lines} damaged region(s) dropped)"
         if reader.skipped_lines
         else ""
     )
+    shape = (
+        f"sharded manifest {args.dst}" if sharded_out else f"v{args.to} {args.dst}"
+    )
     print(
-        f"converted {len(records)} records: "
-        f"v{reader.version} {args.src} -> v{args.to} {args.dst}{note}"
+        f"converted {count} records: "
+        f"v{reader.version} {args.src} -> {shape}{note}"
     )
     return 0
 
@@ -973,6 +1339,13 @@ def _scan_v2_meta(
 
 def _cmd_reindex(args: argparse.Namespace) -> int:
     reader = TraceFileReader(args.path)
+    if reader.sharded:
+        print(
+            "error: this is a shard manifest; its shard files carry their "
+            "own footers -- run reindex on a damaged shard file directly",
+            file=sys.stderr,
+        )
+        return 2
     if reader.version == 1:
         print("error: v1 files have no index footer; use `convert` instead",
               file=sys.stderr)
@@ -984,19 +1357,28 @@ def _cmd_reindex(args: argparse.Namespace) -> int:
     if reader.version >= 3:
         blocks: list[IndexBlock] = []
         end = reader._data_offset
-        for offset, nbytes, block in reader._iter_v3_blocks(tolerant=True):
-            blocks.append(
-                IndexBlock(
-                    offset=offset,
-                    nbytes=nbytes,
-                    count=len(block),
-                    t_min=block.t_min,
-                    t_max=block.t_max,
-                    procs=block.procs,
-                    encoding="columnar",
+        with reader.path.open("rb") as fh:
+            for offset, nbytes, block in reader._iter_v3_blocks(tolerant=True):
+                fh.seek(offset)
+                head = fh.read(COMPRESSED_HEADER.size)
+                if head[:4] == COMPRESSED_MAGIC:
+                    _, code, raw_nbytes, _ = COMPRESSED_HEADER.unpack(head)
+                    encoding = CODECS_BY_CODE[code].encoding
+                else:
+                    encoding, raw_nbytes = "columnar", None
+                blocks.append(
+                    IndexBlock(
+                        offset=offset,
+                        nbytes=nbytes,
+                        count=len(block),
+                        t_min=block.t_min,
+                        t_max=block.t_max,
+                        procs=block.procs,
+                        encoding=encoding,
+                        raw_nbytes=raw_nbytes,
+                    )
                 )
-            )
-            end = offset + nbytes
+                end = offset + nbytes
         records = sum(b.count for b in blocks)
         index = TraceIndex(
             tuple(blocks),
@@ -1059,9 +1441,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_info.add_argument("path", help="trace file to inspect")
 
     p_conv = sub.add_parser(
-        "convert", help="re-encode a trace file to another format version"
+        "convert",
+        help="re-encode a trace file: format version, per-block "
+        "compression, sharded manifest <-> single file",
     )
-    p_conv.add_argument("src", help="source trace file (any version)")
+    p_conv.add_argument("src", help="source trace file or manifest")
     p_conv.add_argument("dst", help="destination path")
     p_conv.add_argument(
         "--to", type=int, choices=sorted(SUPPORTED_VERSIONS),
@@ -1070,6 +1454,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_conv.add_argument(
         "--index-block", type=int, default=DEFAULT_INDEX_BLOCK,
         help="records per index block (default: %(default)s)",
+    )
+    p_conv.add_argument(
+        "--compress", default="none",
+        choices=["none", "auto", *sorted(CODECS)],
+        help="per-block compression of the output (v3 only; "
+        "default: %(default)s)",
+    )
+    p_conv.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="write a sharded store with N hash-routed shards "
+        "(dst names the manifest)",
+    )
+    p_conv.add_argument(
+        "--by", choices=["proc", "hash"], default=None,
+        help="shard routing: 'proc' writes one shard per rank, "
+        "'hash' buckets ranks into --shards files",
     )
 
     p_re = sub.add_parser(

@@ -158,3 +158,41 @@ def test_truncated_v3_decodes_to_block_prefix(tmp_path_factory, batch, cut):
     assert len(got) % 8 == 0 or len(got) == len(batch)
     if cut > 0:
         assert reader.last_skipped_lines <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=batch_strategy(max_size=50),
+    by=hst.sampled_from(["proc", "hash"]),
+    compression=hst.sampled_from([None, "zlib"]),
+)
+def test_sharded_compressed_equals_single_file(
+    tmp_path_factory, batch, by, compression
+):
+    """A sharded (and optionally compressed) store decodes to exactly
+    the same record stream as a plain single-file v3 store -- whole-file,
+    columnar, and windowed reads alike."""
+    from repro.trace import TraceShardWriter
+
+    tmp = tmp_path_factory.mktemp("shardprop")
+    single, sharded = tmp / "single.trace", tmp / "sharded.trace"
+    write_file(single, batch, version=3)
+    kwargs = {"by": by} if by == "proc" else {"by": by, "shards": 3}
+    with TraceShardWriter(
+        sharded, nprocs=NPROCS, index_block=8, compression=compression, **kwargs
+    ) as w:
+        for rec in batch:
+            w.write(rec)
+    want = TraceFileReader(single).read_all()
+    reader = TraceFileReader(sharded)
+    assert reader.sharded
+    assert reader.read_all() == want == batch
+    assert reader.read_columns().to_records() == want
+    assert list(reader.iter_records()) == want
+    if batch:
+        t_lo = min(r.t0 for r in batch)
+        t_hi = max(r.t0 for r in batch)
+        mid = (t_lo + t_hi) / 2.0
+        assert reader.seek_window(t_lo, mid) == TraceFileReader(
+            single
+        ).seek_window(t_lo, mid)
