@@ -133,6 +133,10 @@ class IndexStats:
     generation: int = 0
     engine: str = "numpy"
     records: int = 0
+    #: shard/chunk decode tasks fanned out by a parallel from_file build
+    parallel_shards: int = 0
+    #: worker processes those tasks ran on (0 = the build was serial)
+    parallel_workers: int = 0
     clock_builds: int = 0
     clock_extends: int = 0
     clock_seconds: float = 0.0
@@ -163,6 +167,8 @@ class IndexStats:
             generation=self.generation,
             engine=self.engine,
             records=self.records,
+            parallel_shards=self.parallel_shards,
+            parallel_workers=self.parallel_workers,
             clock_builds=self.clock_builds,
             clock_extends=self.clock_extends,
             clock_seconds=self.clock_seconds,
@@ -183,6 +189,13 @@ class IndexStats:
         lines = [
             f"history index stats (generation {self.generation}, "
             f"{self.records} records, engine={self.engine})",
+        ]
+        if self.parallel_shards:
+            lines.append(
+                f"  parallel build: {self.parallel_shards} shard task(s) "
+                f"across {self.parallel_workers} worker process(es)"
+            )
+        lines += [
             f"  vector clocks : {self.clock_builds} build(s), "
             f"{self.clock_extends} record(s) folded, "
             f"{self.clock_seconds * 1e3:.2f} ms",
@@ -255,6 +268,12 @@ class HistoryIndex:
         self.engine = engine
         self._stale = False
         self._records: list[TraceRecord] = []
+        # indexed rows; >= len(self._records) while column blocks await
+        # record materialization (the deferred-ingest path below)
+        self._n = 0
+        # blocks ingested column-only; their TraceRecord objects are
+        # materialized on first record-level access (_ensure_records)
+        self._pending_blocks: list["ColumnBlock"] = []
         # column store (structure of arrays, amortized doubling) --------
         self._cap = 0
         self._cols: dict[str, np.ndarray] = {
@@ -323,6 +342,8 @@ class HistoryIndex:
         paged: bool = False,
         cache_blocks: Optional[int] = None,
         cache_bytes: Optional[int] = None,
+        prefetch_blocks: Optional[int] = None,
+        parallel: "int | bool | None" = None,
     ) -> "HistoryIndex | OutOfCoreIndex":
         """Index a trace file through the bulk columnar path.
 
@@ -330,27 +351,62 @@ class HistoryIndex:
         ingested column-wise (no per-record JSON parsing); v1/v2 files
         bridge through the record path transparently.
 
+        ``parallel=N`` fans block decode + column ingest across a pool
+        of ``N`` worker processes (``True`` = one per CPU): each worker
+        decodes one shard (or one contiguous chunk of a single file's
+        blocks) with the threaded block loader and ships columns back;
+        the parent merges the partial stores by global record index and
+        ingests them with record materialization *deferred* -- record
+        objects appear on first record-level access.  Falls back to the
+        serial path when the file has too few shards/blocks to split or
+        the platform cannot fork.
+
         ``paged=True`` returns an
         :class:`~repro.analysis.paged.OutOfCoreIndex` instead: only
         block metadata is read now, record data is paged in per window
-        query through a bounded LRU (``cache_blocks``/``cache_bytes``)
-        -- resident memory stays O(cache) rather than O(trace).  The
-        paged facade serves window queries only; build an in-memory
-        index for the global derivations (clocks, matching).
+        query through a bounded LRU (``cache_blocks``/``cache_bytes``),
+        with background readahead of adjacent blocks
+        (``prefetch_blocks``) -- resident memory stays O(cache) rather
+        than O(trace).  The paged facade serves window queries only;
+        build an in-memory index for the global derivations (clocks,
+        matching).
         """
         if paged:
             from .paged import OutOfCoreIndex
 
+            if parallel not in (None, False):
+                raise ValueError(
+                    "parallel= applies to the in-memory build; a paged "
+                    "index never bulk-decodes (it pages blocks per query)"
+                )
             kwargs: dict = {}
             if cache_blocks is not None:
                 kwargs["cache_blocks"] = cache_blocks
             if cache_bytes is not None:
                 kwargs["cache_bytes"] = cache_bytes
+            if prefetch_blocks is not None:
+                kwargs["prefetch_blocks"] = prefetch_blocks
             return OutOfCoreIndex(reader, **kwargs)
         if cache_blocks is not None or cache_bytes is not None:
             raise ValueError(
                 "cache_blocks/cache_bytes apply to paged=True only"
             )
+        if prefetch_blocks is not None:
+            raise ValueError("prefetch_blocks applies to paged=True only")
+        if parallel not in (None, False):
+            from repro.trace.tracefile import read_columns_parallel
+
+            result = read_columns_parallel(reader, parallel)
+            if result is not None:
+                block, ntasks, nworkers = result
+                index = cls(
+                    nprocs=reader.nprocs, generation=generation, engine=engine
+                )
+                index.extend_columns(block, defer_records=True)
+                index._stats.parallel_shards = ntasks
+                index._stats.parallel_workers = nworkers
+                return index
+            # fall through: the serial path is exact and always works
         index = cls(nprocs=reader.nprocs, generation=generation, engine=engine)
         index.extend_columns(reader.read_columns())
         return index
@@ -386,7 +442,7 @@ class HistoryIndex:
         if need <= self._cap:
             return
         new_cap = max(64, need, 2 * self._cap)
-        n = len(self._records)
+        n = self._n
         for name, dt in STORE_SPEC:
             buf = np.empty(new_cap, dtype=dt)
             buf[:n] = self._cols[name][:n]
@@ -401,14 +457,48 @@ class HistoryIndex:
         ``kind`` holds :data:`~repro.trace.columnar.KIND_CODES` codes.
         """
         self._check_live()
-        return self._cols[name][: len(self._records)]
+        return self._cols[name][: self._n]
 
     @property
     def columns(self) -> dict[str, np.ndarray]:
         """All store columns, trimmed to the indexed length."""
         self._check_live()
-        n = len(self._records)
+        n = self._n
         return {name: self._cols[name][:n] for name, _ in STORE_SPEC}
+
+    # ------------------------------------------------------------------
+    # deferred record materialization (the parallel-build fast path)
+    # ------------------------------------------------------------------
+    def _ingest_block_records(self, block: "ColumnBlock") -> None:
+        """Materialize one block's TraceRecord objects and fold them
+        into the record list, per-proc rows, and marker table."""
+        records = block.to_records()
+        pos = len(self._records)
+        rows = self._rows
+        marker_first = self._marker_first
+        for rec in records:
+            if rec.index != pos:
+                rec.index = pos  # to_records() objects are ours to mutate
+            pos += 1
+            rows[rec.proc].append(rec)
+            marker_first.setdefault((rec.proc, rec.marker), rec)
+        self._records.extend(records)
+
+    def _ensure_records(self) -> None:
+        """Catch the record list up to the column store.
+
+        A build through ``extend_columns(..., defer_records=True)`` (the
+        ``from_file(parallel=N)`` path) ingests columns only -- record
+        objects, per-proc rows, and the marker table are materialized
+        here, on first record-level access.  Columnar consumers (window
+        index, race masks, the matching/clock key columns) never pay for
+        objects they do not touch.
+        """
+        if not self._pending_blocks:
+            return
+        pending, self._pending_blocks = self._pending_blocks, []
+        for block in pending:
+            self._ingest_block_records(block)
 
     # ------------------------------------------------------------------
     # extension (the IndexSink feed)
@@ -427,7 +517,8 @@ class HistoryIndex:
                 f"record {record.index} has proc {record.proc} outside "
                 f"[0, {self.nprocs}); the index cannot place it"
             )
-        pos = len(self._records)
+        self._ensure_records()  # appended records must follow materialized ones
+        pos = self._n
         if record.index != pos:
             # windowed / ring-buffer streams have sparse global indexes;
             # positional invariants (clock rows, path DP) need re-indexed
@@ -448,13 +539,14 @@ class HistoryIndex:
         cols["t1"][pos] = record.t1
         cols["marker"][pos] = record.marker
         cols["size"][pos] = record.size
+        self._n = pos + 1
         self._rows[record.proc].append(record)
         self._marker_first.setdefault((record.proc, record.marker), record)
         if self._t_lo is None or record.t0 < self._t_lo:
             self._t_lo = record.t0
         if self._t_hi is None or record.t1 > self._t_hi:
             self._t_hi = record.t1
-        self._stats.records = len(self._records)
+        self._stats.records = self._n
 
     def extend_many(self, records: Iterable[TraceRecord]) -> int:
         n = 0
@@ -463,7 +555,9 @@ class HistoryIndex:
             n += 1
         return n
 
-    def extend_columns(self, block: "ColumnBlock") -> int:
+    def extend_columns(
+        self, block: "ColumnBlock", *, defer_records: bool = False
+    ) -> int:
         """Bulk-ingest one decoded columnar block (the
         :meth:`TraceFileReader.read_columns` feed).
 
@@ -473,6 +567,12 @@ class HistoryIndex:
         from the block's time columns in one step, and re-indexes
         positionally by mutating the freshly materialized records in
         place instead of copying each one.
+
+        ``defer_records=True`` skips the record-object materialization
+        (the dominant cost of a bulk build): the block is stashed and
+        its TraceRecords, per-proc rows, and marker entries appear
+        lazily on first record-level access.  Columnar state is
+        complete either way -- the two modes are observably identical.
         """
         self._check_live()
         n = len(block)
@@ -488,7 +588,7 @@ class HistoryIndex:
                 f"column block contains proc {culprit} outside "
                 f"[0, {nprocs}); the index cannot place it"
             )
-        pos = len(self._records)
+        pos = self._n
         # columns: one vectorized copy per field --------------------------
         self._grow(pos + n)
         cols = self._cols
@@ -502,31 +602,28 @@ class HistoryIndex:
         for name in ("proc", "src", "dst", "tag", "seq", "t0", "t1",
                      "marker", "size"):
             cols[name][sl] = bcols[name]
+        self._n = pos + n
         # records, rows, marker table -------------------------------------
-        records = block.to_records()
-        rows = self._rows
-        marker_first = self._marker_first
-        for rec in records:
-            if rec.index != pos:
-                rec.index = pos  # to_records() objects are ours to mutate
-            pos += 1
-            rows[rec.proc].append(rec)
-            marker_first.setdefault((rec.proc, rec.marker), rec)
-        self._records.extend(records)
+        if defer_records:
+            self._pending_blocks.append(block)
+        else:
+            self._ensure_records()  # keep materialization in ingest order
+            self._ingest_block_records(block)
         t_lo = float(bcols["t0"].min())
         t_hi = float(bcols["t1"].max())
         if self._t_lo is None or t_lo < self._t_lo:
             self._t_lo = t_lo
         if self._t_hi is None or t_hi > self._t_hi:
             self._t_hi = t_hi
-        self._stats.records = len(self._records)
+        self._stats.records = self._n
         return n
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._n
 
     @property
     def records(self) -> Sequence[TraceRecord]:
+        self._ensure_records()
         return self._records
 
     def sink(self) -> "IndexSink":
@@ -539,6 +636,7 @@ class HistoryIndex:
     def by_proc(self, proc: int) -> Sequence[TraceRecord]:
         """This process's records in program order (live view)."""
         self._check_live()
+        self._ensure_records()
         return self._rows[proc]
 
     @property
@@ -552,13 +650,14 @@ class HistoryIndex:
     def record_at_marker(self, proc: int, marker: int) -> Optional[TraceRecord]:
         """First record of ``proc`` carrying ``marker`` (O(1) lookup)."""
         self._check_live()
+        self._ensure_records()
         return self._marker_first.get((proc, marker))
 
     # ------------------------------------------------------------------
     # time windows (the zoom-rescan primitive)
     # ------------------------------------------------------------------
     def _ensure_window_index(self) -> None:
-        n = len(self._records)
+        n = self._n
         if self._t0_order is not None and self._window_upto >= n:
             self._stats.hit("window")
             return
@@ -593,10 +692,11 @@ class HistoryIndex:
         engine is the reference full scan.
         """
         self._check_live()
+        self._ensure_records()  # results are record objects
         if self.engine == "python":
             return [r for r in self._records if r.t1 >= t_lo and r.t0 <= t_hi]
         self._ensure_window_index()
-        n = len(self._records)
+        n = self._n
         if n == 0:
             return []
         k = int(np.searchsorted(self._t0_sorted, t_hi, side="right"))
@@ -610,10 +710,11 @@ class HistoryIndex:
     # message matching
     # ------------------------------------------------------------------
     def _ensure_matching(self) -> None:
-        n = len(self._records)
+        n = self._n
         if self._matched_upto >= n:
             self._stats.hit("matching")
             return
+        self._ensure_records()  # both kernels pair record objects
         self._stats.miss("matching")
         start = time.perf_counter()
         if self._matched_upto == 0:
@@ -773,7 +874,7 @@ class HistoryIndex:
     # vector clocks
     # ------------------------------------------------------------------
     def _ensure_clocks(self) -> None:
-        n = len(self._records)
+        n = self._n
         if self._clocked_upto >= n:
             self._stats.hit("clocks")
             return
@@ -921,7 +1022,7 @@ class HistoryIndex:
         """The (n_records, nprocs) vector-clock matrix (read-only view)."""
         self._check_live()
         self._ensure_clocks()
-        return self._clocks[: len(self._records)]
+        return self._clocks[: self._n]
 
     @property
     def order(self) -> CausalOrder:
@@ -936,7 +1037,7 @@ class HistoryIndex:
         trace = self.trace
         if self._order is None or self._order.trace is not trace:
             self._stats.miss("order")
-            n = len(self._records)
+            n = self._n
             self._order = CausalOrder(
                 trace=trace,
                 clocks=self._clocks[:n],
@@ -962,6 +1063,7 @@ class HistoryIndex:
         """An immutable Trace snapshot of the indexed records, memoized
         until the next extension."""
         self._check_live()
+        self._ensure_records()
         if self._trace is None or len(self._trace) != len(self._records):
             self._stats.miss("trace")
             self._stats.trace_snapshots += 1

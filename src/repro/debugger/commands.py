@@ -266,7 +266,11 @@ class CommandInterpreter:
         return "\n".join(r.describe() for r in races)
 
     def _cmd_stats(self, args: list[str]) -> str:
-        return self.session.index().stats().as_text()
+        text = self.session.index().stats().as_text()
+        paged = getattr(self.session, "paged_index", None)
+        if paged is not None:
+            text += "\n" + paged.stats().as_text()
+        return text
 
     def _cmd_save_trace(self, args: list[str]) -> str:
         if len(args) != 1:

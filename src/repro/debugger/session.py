@@ -115,6 +115,10 @@ class DebugSession:
         #: this generation's shared analysis substrate (lazily attached
         #: to the live stream; invalidated and rebuilt across replays)
         self._index: Optional[HistoryIndex] = None
+        #: an out-of-core paged index over an on-disk trace, when the
+        #: user is debugging against a recorded file (``stats`` folds
+        #: its cache/prefetch counters into the report)
+        self.paged_index = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -152,6 +156,11 @@ class DebugSession:
         # deadlock diagnoses
         self._index.set_blocked(self.runtime.blocked_waits())
         return self._index
+
+    def attach_paged_index(self, paged) -> None:
+        """Bind an :class:`~repro.analysis.paged.OutOfCoreIndex` so the
+        ``stats`` command reports its cache and readahead behavior."""
+        self.paged_index = paged
 
     @property
     def recorder(self):

@@ -30,6 +30,19 @@ Architecture
   rank (id = rank + 1, stepping by nprocs) so concurrent splits rooted
   at different ranks never collide.
 
+* **Merge-free trace recording.**  With ``trace_path`` set, each forked
+  rank carries its own :class:`~repro.trace.recorder.TraceRecorder`
+  stamping disjoint global indices (``index_start=rank,
+  index_step=nprocs``) through the instrumented wrapper library.  In
+  ``trace_mode="shard"`` (the default) every worker streams its records
+  straight into its own shard file -- compression-aware, bounded
+  memory -- and the parent's only job at exit is writing the one-line
+  manifest from the workers' reported shard stats (falling back to
+  :func:`~repro.trace.shard.scan_shard_info` for a worker that died
+  without reporting).  ``trace_mode="merge"`` keeps the legacy shape:
+  records come back pickled in the exit report and the parent merges
+  them by global index into a single trace file.
+
 * **Deadlock detection.**  Counting-based with confirmation: a blocked
   worker reports its wait description plus (puts, gots) transfer
   counters.  When every live worker is blocked and the global counters
@@ -45,13 +58,17 @@ Architecture
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import os
 import pickle
 import queue as queue_mod
 import time
 import traceback
 from itertools import count
-from typing import Any, Callable, Optional, Sequence
+from operator import attrgetter
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
 
 from ..channel import Mailbox, PendingRecv
 from ..comm import Comm
@@ -294,15 +311,74 @@ def _worker_main(
     report_q: Any,
     replay_log: Optional[CommLog],
     cost_model: Any,
+    trace_cfg: Optional[tuple] = None,
 ) -> None:
     """Worker-process entry: run one rank against a local runtime."""
     wrt = _WorkerRuntime(rank, nprocs, inqs, report_q, replay_log, cost_model)
     proc = wrt.proc
+
+    recorder = None
+    writer = None
+    shard_path: Optional[str] = None
+    if trace_cfg is not None:
+        # Imported here, post-fork: keeps the backend module free of a
+        # trace-package dependency cycle and costs nothing in the parent.
+        from repro.instrument.wrappers import WrapperLibrary, lifecycle_wrapper
+        from repro.trace.recorder import TraceRecorder
+        from repro.trace.sinks import FileSink
+        from repro.trace.tracefile import TraceFileWriter
+
+        mode, shard_path, compression, flush_every = trace_cfg
+        # index_start=rank / index_step=nprocs mints this rank's disjoint
+        # slice of the global index space with zero coordination, so the
+        # per-rank streams merge back into one strictly increasing order.
+        recorder = TraceRecorder(
+            nprocs,
+            memory_limit=1 if mode == "shard" else None,
+            index_start=rank,
+            index_step=nprocs,
+        )
+        WrapperLibrary(wrt, recorder)
+        target = lifecycle_wrapper(recorder)(target, rank)
+        if mode == "shard":
+            writer = TraceFileWriter(
+                shard_path, nprocs, flush_every, compression=compression
+            )
+            recorder.subscribe(FileSink(writer, own=False))
+
     proc.target = target
     comm = Comm(wrt, rank)
     proc.comm = comm
     proc.state = ProcState.RUNNING
     proc.run_target()
+
+    trace_stats: Optional[dict] = None
+    trace_records_data: Optional[bytes] = None
+    if recorder is not None:
+        try:
+            recorder.flush()
+            if writer is not None:
+                writer.close()
+                index = writer._build_index()
+                procs: frozenset[int] = (
+                    frozenset().union(*(b.procs for b in index.blocks))
+                    if index.blocks
+                    else frozenset()
+                )
+                trace_stats = {
+                    "records": index.records,
+                    "t_min": index.t_min,
+                    "t_max": index.t_max,
+                    "procs": sorted(procs),
+                    "nbytes": os.stat(shard_path).st_size,
+                }
+            else:
+                trace_records_data = pickle.dumps(recorder.records)
+        except Exception:
+            # A broken trace must not eat the rank's exit report; the
+            # parent falls back to scanning the shard file directly.
+            trace_stats = None
+            trace_records_data = None
 
     result_data: Optional[bytes] = None
     result_repr: Optional[str] = None
@@ -343,6 +419,8 @@ def _worker_main(
                 "unmatched": unmatched,
                 "puts": wrt.puts,
                 "gots": wrt.gots,
+                "trace": trace_stats,
+                "trace_records": trace_records_data,
             },
         )
     )
@@ -362,11 +440,31 @@ class MprocBackend(ExecutionBackend):
         policy: Any = "run_to_block",
         seed: int = 0,
         max_grants: Optional[int] = None,
+        *,
+        trace_path: Optional[Union[str, Path]] = None,
+        trace_mode: str = "shard",
+        trace_compression: Union[None, bool, str] = "auto",
+        trace_flush_every: Optional[int] = 4096,
     ) -> None:
         super().__init__()
         # The OS schedules workers preemptively: scheduling policies and
         # grant budgets have no token to act on and are ignored.
         del policy, seed, max_grants
+        if trace_mode not in ("shard", "merge"):
+            raise ValueError(
+                f"trace_mode must be 'shard' or 'merge', got {trace_mode!r}"
+            )
+        #: manifest (shard mode) / trace file (merge mode) destination
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.trace_mode = trace_mode
+        self._trace_compression = trace_compression
+        self._trace_flush_every = trace_flush_every
+        #: rank -> shard stats reported in the worker's exit payload
+        self._trace_reports: dict[int, dict] = {}
+        #: rank -> materialized records (merge mode only)
+        self._trace_records: dict[int, tuple] = {}
+        self._shard_paths: list[Path] = []
+        self._trace_finalized = False
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:
@@ -409,6 +507,27 @@ class MprocBackend(ExecutionBackend):
             proc.comm = comm
             rt.procs.append(proc)
             rt.comms.append(comm)
+        trace_cfgs: list[Optional[tuple]] = [None] * nprocs
+        if self.trace_path is not None:
+            if self.trace_mode == "shard":
+                from repro.trace.shard import SHARD_TEMPLATE
+
+                self._shard_paths = [
+                    self.trace_path.parent
+                    / SHARD_TEMPLATE.format(stem=self.trace_path.stem, num=rank)
+                    for rank in range(nprocs)
+                ]
+                trace_cfgs = [
+                    (
+                        "shard",
+                        str(path),
+                        self._trace_compression,
+                        self._trace_flush_every,
+                    )
+                    for path in self._shard_paths
+                ]
+            else:
+                trace_cfgs = [("merge", None, None, None)] * nprocs
         for rank, target in enumerate(targets):
             worker = self._ctx.Process(
                 target=_worker_main,
@@ -420,6 +539,7 @@ class MprocBackend(ExecutionBackend):
                     self._report_q,
                     rt.replay_log,
                     rt.cost_model,
+                    trace_cfgs[rank],
                 ),
                 name=f"rank{rank}",
                 daemon=True,
@@ -447,6 +567,8 @@ class MprocBackend(ExecutionBackend):
             if suspicious and self._counters_balanced():
                 if self._confirm_deadlock(live):
                     self._abort_remaining()
+                    self._drain_trace_reports()
+                    self._finalize_trace()
                     return self._classify()
             try:
                 item = self._report_q.get(timeout=0.1)
@@ -456,6 +578,7 @@ class MprocBackend(ExecutionBackend):
             self._handle(item)
         # Every rank exited on its own: reap workers and classify.
         self._join_workers()
+        self._finalize_trace()
         return self._classify()
 
     def _handle(self, item: tuple) -> None:
@@ -511,6 +634,19 @@ class MprocBackend(ExecutionBackend):
         for data in payload["unmatched"]:
             try:
                 self._unmatched.append(pickle.loads(data))
+            except Exception:
+                pass
+        self._capture_trace_payload(rank, payload)
+
+    def _capture_trace_payload(self, rank: int, payload: dict) -> None:
+        """Keep the rank's trace contribution for :meth:`_finalize_trace`."""
+        stats = payload.get("trace")
+        if stats is not None:
+            self._trace_reports[rank] = stats
+        data = payload.get("trace_records")
+        if data is not None:
+            try:
+                self._trace_records[rank] = pickle.loads(data)
             except Exception:
                 pass
 
@@ -622,6 +758,80 @@ class MprocBackend(ExecutionBackend):
         return report
 
     # ------------------------------------------------------------------
+    # trace finalization (merge-free recording)
+    # ------------------------------------------------------------------
+    def _drain_trace_reports(self) -> None:
+        """Harvest trace payloads from exit reports after an abort.
+
+        An aborted worker still finishes its shard file and sends an
+        exit report, but feeding that report through :meth:`_handle`
+        would flip a BLOCKED proc to KILLED and destroy the deadlock
+        snapshot the parent just confirmed.  So this drain extracts
+        ONLY the trace contribution and leaves proc states untouched.
+        """
+        if self.trace_path is None or self._report_q is None:
+            return
+        while True:
+            try:
+                item = self._report_q.get(timeout=0.2)
+            except (queue_mod.Empty, OSError, ValueError):
+                return
+            if item[0] == "exit":
+                self._capture_trace_payload(item[1], item[2])
+
+    def _finalize_trace(self) -> None:
+        """Write the manifest (shard mode) or the merged file (merge
+        mode) exactly once, after the workers are done."""
+        if self.trace_path is None or self._trace_finalized:
+            return
+        self._trace_finalized = True
+        rt = self.runtime
+        nprocs = len(rt.procs) if rt is not None else len(self._workers)
+        if self.trace_mode == "shard":
+            from repro.trace.shard import (
+                ShardInfo,
+                scan_shard_info,
+                write_manifest,
+            )
+
+            infos = []
+            for rank, shard_path in enumerate(self._shard_paths):
+                stats = self._trace_reports.get(rank)
+                if stats is not None:
+                    infos.append(
+                        ShardInfo(
+                            path=shard_path.name,
+                            records=stats["records"],
+                            t_min=stats["t_min"],
+                            t_max=stats["t_max"],
+                            procs=frozenset(stats["procs"]),
+                            nbytes=stats["nbytes"],
+                        )
+                    )
+                    continue
+                # The worker died before reporting (or its report was
+                # lost): recover what its shard file actually holds.
+                info = scan_shard_info(shard_path)
+                if info is not None:
+                    infos.append(info)
+            write_manifest(self.trace_path, nprocs, infos, by="proc")
+        else:
+            from repro.trace.tracefile import TraceFileWriter
+
+            streams = [
+                self._trace_records.get(rank, ()) for rank in range(nprocs)
+            ]
+            merged = heapq.merge(*streams, key=attrgetter("index"))
+            with TraceFileWriter(
+                self.trace_path,
+                nprocs,
+                self._trace_flush_every,
+                compression=self._trace_compression,
+            ) as writer:
+                for rec in merged:
+                    writer.write(rec)
+
+    # ------------------------------------------------------------------
     # teardown
     # ------------------------------------------------------------------
     def _abort_remaining(self) -> None:
@@ -652,6 +862,9 @@ class MprocBackend(ExecutionBackend):
             return
         self._shut_down = True
         self._abort_remaining()
+        if not self._trace_finalized:
+            self._drain_trace_reports()
+            self._finalize_trace()
         for q in self._inqs:
             q.cancel_join_thread()
             q.close()

@@ -42,6 +42,7 @@ from __future__ import annotations
 import heapq
 import json
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from operator import attrgetter
@@ -164,6 +165,82 @@ class ShardManifest:
                 ShardInfo.from_jsonable(s) for s in data.get("shards", [])
             ),
         )
+
+
+def write_manifest(
+    path: Union[str, Path],
+    nprocs: int,
+    infos: Sequence[ShardInfo],
+    *,
+    by: str = "proc",
+    kinds: Optional[Sequence[str]] = None,
+) -> ShardManifest:
+    """Aggregate ``infos`` into a :class:`ShardManifest` and write it to
+    ``path`` as one JSON line.  Shared by :meth:`TraceShardWriter.close`
+    and by writers that produce shard files *without* a central writer
+    object (the mproc backend's merge-free per-worker recording, where
+    each forked rank streams its own shard and the parent only writes
+    this manifest at exit)."""
+    path = Path(path)
+    populated = [s for s in infos if s.records]
+    manifest = ShardManifest(
+        nprocs=nprocs,
+        kinds=list(kinds) if kinds is not None
+        else [k.value for k in EventKind],
+        by=by,
+        records=sum(s.records for s in infos),
+        t_min=min((s.t_min for s in populated), default=0.0),
+        t_max=max((s.t_max for s in populated), default=0.0),
+        shards=tuple(infos),
+    )
+    payload = json.dumps(manifest.to_jsonable(), separators=(",", ":"))
+    path.write_text(payload + "\n")
+    return manifest
+
+
+def scan_shard_info(path: Union[str, Path]) -> Optional[ShardInfo]:
+    """Recover a :class:`ShardInfo` by inspecting a shard file directly.
+
+    Used when the process that wrote the shard died before reporting its
+    stats (a killed mproc worker): reads the footer when present, else
+    tolerantly scans the decodable block prefix.  Returns None when the
+    file is missing or not a readable trace file, so the caller can
+    leave it out of the manifest instead of naming an unreadable shard.
+    """
+    tracefile = _tracefile()
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        reader = tracefile.TraceFileReader(path)
+        if reader.sharded:
+            return None
+        index = reader.index
+        if index is not None:
+            procs: frozenset[int] = frozenset().union(
+                *(b.procs for b in index.blocks)
+            ) if index.blocks else frozenset()
+            return ShardInfo(
+                path=path.name,
+                records=index.records,
+                t_min=index.t_min,
+                t_max=index.t_max,
+                procs=procs,
+                nbytes=path.stat().st_size,
+            )
+        block = reader.read_columns(tolerant=True)
+    except (tracefile.TraceFileError, OSError, ValueError):
+        return None
+    if len(block) == 0:
+        return ShardInfo(path.name, 0, 0.0, 0.0, frozenset(), path.stat().st_size)
+    return ShardInfo(
+        path=path.name,
+        records=len(block),
+        t_min=float(block.columns["t0"].min()),
+        t_max=float(block.columns["t1"].max()),
+        procs=frozenset(np.unique(block.columns["proc"]).tolist()),
+        nbytes=path.stat().st_size,
+    )
 
 
 class TraceShardWriter:
@@ -330,18 +407,7 @@ class TraceShardWriter:
                 )
             if errors:
                 raise errors[0]
-            populated = [s for s in infos if s.records]
-            manifest = ShardManifest(
-                nprocs=self.nprocs,
-                kinds=[k.value for k in EventKind],
-                by=self.by,
-                records=sum(s.records for s in infos),
-                t_min=min((s.t_min for s in populated), default=0.0),
-                t_max=max((s.t_max for s in populated), default=0.0),
-                shards=tuple(infos),
-            )
-            payload = json.dumps(manifest.to_jsonable(), separators=(",", ":"))
-            self.path.write_text(payload + "\n")
+            write_manifest(self.path, self.nprocs, infos, by=self.by)
         finally:
             self._closed = True
 
@@ -370,24 +436,49 @@ class ShardSet:
         self.path = path
         self.manifest = ShardManifest.from_jsonable(header)
         self._readers: dict[int, object] = {}
+        # guards the memoization: the paged index's prefetcher thread
+        # opens shards concurrently with demand queries
+        self._open_lock = threading.Lock()
         #: shard files actually opened (the short-circuit observable)
         self.opened = 0
 
     # ------------------------------------------------------------------
     def _reader(self, shard: int):
-        reader = self._readers.get(shard)
-        if reader is None:
-            tracefile = _tracefile()
-            shard_path = self.path.parent / self.manifest.shards[shard].path
-            reader = tracefile.TraceFileReader(shard_path)
-            if reader.sharded:
-                raise tracefile.TraceFileError(
-                    f"{shard_path}: a manifest may not name another "
-                    "manifest as a shard"
-                )
-            self._readers[shard] = reader
-            self.opened += 1
+        with self._open_lock:
+            reader = self._readers.get(shard)
+            if reader is None:
+                tracefile = _tracefile()
+                shard_path = self.path.parent / self.manifest.shards[shard].path
+                try:
+                    reader = tracefile.TraceFileReader(shard_path)
+                except FileNotFoundError as exc:
+                    raise tracefile.TraceFileError(
+                        f"{self.path}: manifest names shard file "
+                        f"{shard_path.name!r}, which does not exist "
+                        "(was it moved or deleted alongside the manifest?)"
+                    ) from exc
+                if reader.sharded:
+                    raise tracefile.TraceFileError(
+                        f"{shard_path}: a manifest may not name another "
+                        "manifest as a shard"
+                    )
+                self._readers[shard] = reader
+                self.opened += 1
         return reader
+
+    def _require_shards(self, op: str) -> None:
+        """Record access over a manifest with an *empty* shard list is a
+        malformed-store error, not a silently empty result: every writer
+        (TraceShardWriter, the mproc per-worker mode) lists at least one
+        shard, so an empty list means the manifest was truncated or
+        hand-edited."""
+        if not self.manifest.shards:
+            tracefile = _tracefile()
+            raise tracefile.TraceFileError(
+                f"{self.path}: manifest lists no shard files; cannot "
+                f"{op} (the store is malformed -- every shard writer "
+                "records at least one shard entry)"
+            )
 
     @property
     def bytes_read(self) -> int:
@@ -444,6 +535,7 @@ class ShardSet:
         where: Optional[Callable[[TraceRecord], bool]],
         tolerant: bool,
     ) -> Iterator[TraceRecord]:
+        self._require_shards("iterate records")
         streams = [
             self._reader(k).iter_records(where, tolerant)
             for k in self._populated()
@@ -453,6 +545,7 @@ class ShardSet:
     def read_all(
         self, tolerant: bool, parallel: Optional[bool]
     ) -> list[TraceRecord]:
+        self._require_shards("read records")
         parts = self._fan_out(
             self._populated(),
             lambda r, inner: r.read_all(tolerant=tolerant, parallel=inner),
@@ -467,6 +560,7 @@ class ShardSet:
         procs: Optional[set[int]],
         parallel: Optional[bool],
     ) -> list[TraceRecord]:
+        self._require_shards("seek a window")
         shard_ids = self._select(t_lo, t_hi, procs)
         if not shard_ids:
             return []
@@ -486,6 +580,7 @@ class ShardSet:
         parallel: Optional[bool],
         tolerant: bool,
     ) -> ColumnBlock:
+        self._require_shards("read columns")
         if windowed:
             shard_ids = self._select(t_lo, t_hi, procs)
         else:
@@ -512,6 +607,7 @@ class ShardSet:
     def block_entries(self) -> list:
         """Every shard's footer entries as BlockRefs (grouped by shard;
         the paged index orders query *results* by record index)."""
+        self._require_shards("enumerate blocks")
         tracefile = _tracefile()
         refs = []
         for k in self._populated():
@@ -540,4 +636,6 @@ __all__ = [
     "ShardManifest",
     "ShardSet",
     "TraceShardWriter",
+    "scan_shard_info",
+    "write_manifest",
 ]

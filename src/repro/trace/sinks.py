@@ -252,6 +252,11 @@ class FileSink(TraceSink):
     def flush(self) -> int:
         return self.writer.flush()
 
+    @property
+    def records_written(self) -> int:
+        """Records the underlying writer has committed to disk."""
+        return getattr(self.writer, "records_written", 0)
+
     def close(self) -> None:
         if self._own:
             self.writer.close()

@@ -1140,6 +1140,81 @@ def load_trace(path: Union[str, Path]) -> Trace:
 
 
 # ----------------------------------------------------------------------
+# process-parallel bulk decode (the HistoryIndex.from_file(parallel=N)
+# substrate)
+# ----------------------------------------------------------------------
+def _read_columns_job(job: tuple) -> ColumnBlock:
+    """One worker's decode task, re-opening the file by path (nothing
+    unpicklable crosses the fork): a whole shard file, or a contiguous
+    chunk ``[start, stop)`` of a single v3 file's footer blocks.  The
+    per-reader *threaded* block loader is reused inside the worker."""
+    path, start, stop = job
+    reader = TraceFileReader(path)
+    if start is None:
+        return reader.read_columns(parallel=True)
+    entries = reader.index.blocks[start:stop]
+    return ColumnBlock.concat(reader._decode_index_blocks(entries, parallel=True))
+
+
+def read_columns_parallel(
+    reader: TraceFileReader,
+    parallel: Union[int, bool],
+) -> Optional[tuple[ColumnBlock, int, int]]:
+    """Decode ``reader``'s whole record data across a process pool.
+
+    Fans one task per shard (manifest readers) or per contiguous block
+    chunk (single indexed v3 files) across forked workers; each task
+    ships its decoded :class:`ColumnBlock` back and the parent
+    re-merges by global record ``index`` -- the same ordered-merge
+    contract as the shard fan-out, so the result is row-for-row
+    identical to :meth:`TraceFileReader.read_columns`.
+
+    Returns ``(merged_block, n_tasks, n_workers)``, or None when
+    process parallelism cannot help (one shard / too few blocks,
+    v1/v2 or footerless files, no ``fork`` start method) -- callers
+    then take the serial path.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = (os.cpu_count() or 1) if parallel is True else int(parallel)
+    if workers < 2:
+        return None
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None  # spawn-only platforms: fall back to the threaded path
+    jobs: list[tuple] = []
+    if reader.sharded:
+        shard_set = reader._shards
+        shard_set._require_shards("read columns")
+        base = shard_set.path.parent
+        jobs = [
+            (str(base / shard_set.manifest.shards[k].path), None, None)
+            for k in shard_set._populated()
+        ]
+    elif reader.version >= 3 and reader.index is not None:
+        nblocks = len(reader.index.blocks)
+        if nblocks >= PARALLEL_BLOCK_THRESHOLD:
+            ntasks = min(workers, nblocks)
+            bounds = np.linspace(0, nblocks, ntasks + 1).astype(int)
+            jobs = [
+                (str(reader.path), int(bounds[i]), int(bounds[i + 1]))
+                for i in range(ntasks)
+                if bounds[i] < bounds[i + 1]
+            ]
+    if len(jobs) < 2:
+        return None
+    nworkers = min(workers, len(jobs))
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=nworkers, mp_context=ctx) as pool:
+        parts = list(pool.map(_read_columns_job, jobs))
+    merged = ColumnBlock.concat(parts)
+    index_col = merged.columns["index"]
+    if index_col.size and np.any(index_col[1:] < index_col[:-1]):
+        merged = merged.filter(np.argsort(index_col, kind="stable"))
+    return merged, len(jobs), nworkers
+
+
+# ----------------------------------------------------------------------
 # CLI: python -m repro.trace.tracefile {info,convert,reindex}
 # ----------------------------------------------------------------------
 def _print_encoding_stats(blocks: Sequence[IndexBlock]) -> None:
@@ -1161,8 +1236,93 @@ def _print_encoding_stats(blocks: Sequence[IndexBlock]) -> None:
         print(line)
 
 
+def _encoding_breakdown(blocks: Sequence[IndexBlock]) -> dict:
+    """The per-encoding block/byte stats as a JSON-ready dict (the
+    machine-readable twin of :func:`_print_encoding_stats`)."""
+    out: dict[str, dict] = {}
+    for b in blocks:
+        enc = out.setdefault(
+            b.encoding or "unknown",
+            {"blocks": 0, "records": 0, "nbytes": 0, "raw_nbytes": 0},
+        )
+        enc["blocks"] += 1
+        enc["records"] += b.count
+        enc["nbytes"] += b.nbytes
+        enc["raw_nbytes"] += b.raw_nbytes if b.raw_nbytes is not None else 0
+    for enc in out.values():
+        enc["compression"] = (
+            round(enc["raw_nbytes"] / enc["nbytes"], 4)
+            if enc["raw_nbytes"] and enc["nbytes"]
+            else None
+        )
+    return out
+
+
+def _info_payload(reader: TraceFileReader) -> dict:
+    """Everything ``info`` knows, as one JSON-serializable dict --
+    the machine-readable surface other tooling (the planned debug
+    server) consumes instead of scraping the text report."""
+    payload: dict = {
+        "path": str(reader.path),
+        "version": reader.version,
+        "nprocs": reader.nprocs,
+        "sharded": reader.sharded,
+    }
+    if reader.sharded:
+        m = reader.manifest
+        entries = [ref.entry for ref in reader.block_entries()]
+        payload.update(
+            format=MANIFEST_FORMAT_NAME,
+            records=m.records,
+            span=[m.t_min, m.t_max],
+            by=m.by,
+            nbytes=sum(s.nbytes for s in m.shards),
+            shards=[s.to_jsonable() for s in m.shards],
+            index={"blocks": len(entries), "source": "shard-footers"},
+            encodings=_encoding_breakdown(entries),
+        )
+        return payload
+    payload["format"] = FORMAT_NAME
+    if reader.index is not None:
+        idx = reader.index
+        payload.update(
+            records=idx.records,
+            span=[idx.t_min, idx.t_max],
+            index={"blocks": len(idx.blocks), "source": "footer"},
+            encodings=_encoding_breakdown(idx.blocks),
+        )
+        return payload
+    # footerless: one tolerant linear scan, mirroring the text report
+    if reader.version >= 3:
+        count = 0
+        t_min, t_max = math.inf, -math.inf
+        blocks = 0
+        for _, _, block in reader._iter_v3_blocks(tolerant=True):
+            blocks += 1
+            count += len(block)
+            if len(block):
+                t_min = min(t_min, block.t_min)
+                t_max = max(t_max, block.t_max)
+        payload.update(
+            records=count,
+            span=[t_min, t_max] if count else [0.0, 0.0],
+            index=None,
+            scanned_blocks=blocks,
+        )
+    else:
+        count = sum(1 for _ in reader.iter_records(tolerant=True))
+        t_min, t_max = reader.span()
+        payload.update(records=count, span=[t_min, t_max], index=None)
+    if reader.skipped_lines:
+        payload["damage"] = reader.skipped_lines
+    return payload
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     reader = TraceFileReader(args.path)
+    if getattr(args, "json", False):
+        print(json.dumps(_info_payload(reader), indent=2, sort_keys=True))
+        return 0
     print(f"path    : {reader.path}")
     if reader.sharded:
         m = reader.manifest
@@ -1439,6 +1599,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "info", help="print version, record count, span and per-block stats"
     )
     p_info.add_argument("path", help="trace file to inspect")
+    p_info.add_argument(
+        "--json", action="store_true",
+        help="emit the shard/encoding breakdown as JSON (machine-"
+        "readable; stable keys for tooling)",
+    )
 
     p_conv = sub.add_parser(
         "convert",

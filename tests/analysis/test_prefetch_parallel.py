@@ -1,0 +1,351 @@
+"""The parallel shard pipeline's read side: background readahead and
+process-parallel index builds.
+
+Contracts:
+
+* Readahead only ever *adds* cached blocks -- query results, the
+  hit-rate formula, and the LRU bound are unchanged, and on a
+  sequential window sweep the prefetcher measurably raises the hit
+  rate over the same sweep without it.
+* ``BlockCache`` plus the single-flight loader survive concurrent
+  window queries and the prefetcher without corrupting the LRU or
+  decoding any block twice while cached.
+* ``HistoryIndex.from_file(parallel=N)`` is *exactly* the serial
+  build: same columns, same records, same derived analyses.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.analysis.history import HistoryIndex
+from repro.analysis.paged import (
+    DEFAULT_PREFETCH_BLOCKS,
+    NO_PREFETCH_ENV_VAR,
+    OutOfCoreIndex,
+    prefetch_enabled,
+)
+from repro.mp.datatypes import SourceLocation
+from repro.trace import (
+    EventKind,
+    TraceFileReader,
+    TraceFileWriter,
+    TraceShardWriter,
+)
+from repro.trace.tracefile import read_columns_parallel
+
+NPROCS = 4
+KINDS = list(EventKind)
+
+no_prefetch_env = pytest.mark.skipif(
+    bool(os.environ.get(NO_PREFETCH_ENV_VAR)),
+    reason=f"{NO_PREFETCH_ENV_VAR} is set: readahead is disabled",
+)
+
+
+def make_batch(seed: int, n: int, sequential_time: bool = False):
+    from repro.trace import TraceRecord
+
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        t0 = i * 0.01 if sequential_time else round(rng.uniform(0, 100), 3)
+        out.append(
+            TraceRecord(
+                index=i,
+                proc=rng.randrange(NPROCS),
+                kind=rng.choice(KINDS),
+                t0=round(t0, 3),
+                t1=round(t0 + 0.005, 3),
+                marker=i + 1,
+                location=SourceLocation("f.py", i % 11, "fn"),
+            )
+        )
+    return out
+
+
+def write_plain(path, batch, index_block=64):
+    with TraceFileWriter(path, NPROCS, index_block=index_block) as w:
+        for rec in batch:
+            w.write(rec)
+    return path
+
+
+# ----------------------------------------------------------------------
+# readahead behavior
+# ----------------------------------------------------------------------
+@no_prefetch_env
+class TestPrefetch:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        # sequential time: block k spans [k*0.64, (k+1)*0.64) -- the
+        # prefetcher's best case, a debugger panning forward in time
+        return write_plain(tmp_path / "seq.trace", make_batch(3, 2000, True))
+
+    def sweep(self, paged, steps=10, width=1.2):
+        for k in range(steps):
+            lo = k * width
+            paged.seek_window(lo, lo + width)
+            assert paged.wait_prefetch(10.0)
+
+    def test_sequential_sweep_hits_readahead(self, store):
+        paged = OutOfCoreIndex(
+            TraceFileReader(store), cache_blocks=16, prefetch_blocks=4
+        )
+        self.sweep(paged)
+        stats = paged.stats()
+        assert stats.prefetch_loads > 0
+        assert stats.prefetch_hits > 0
+        # a prefetch hit is a cache hit by definition
+        assert stats.prefetch_hits <= stats.cache_hits
+        paged.close()
+
+    def test_readahead_beats_no_readahead_on_same_sweep(self, store):
+        with_pf = OutOfCoreIndex(
+            TraceFileReader(store), cache_blocks=16, prefetch_blocks=4
+        )
+        without = OutOfCoreIndex(
+            TraceFileReader(store), cache_blocks=16, prefetch_blocks=0
+        )
+        self.sweep(with_pf)
+        self.sweep(without)
+        assert with_pf.stats().hit_rate > without.stats().hit_rate
+        with_pf.close()
+        without.close()
+
+    def test_results_identical_with_and_without_readahead(self, store):
+        with_pf = OutOfCoreIndex(
+            TraceFileReader(store), cache_blocks=8, prefetch_blocks=4
+        )
+        without = OutOfCoreIndex(
+            TraceFileReader(store), cache_blocks=8, prefetch_blocks=0
+        )
+        for lo, hi in [(0.0, 3.0), (5.5, 9.0), (2.0, 2.5), (15.0, 19.9)]:
+            a = with_pf.seek_window(lo, hi)
+            b = without.seek_window(lo, hi)
+            assert [r.index for r in a] == [r.index for r in b]
+        with_pf.close()
+        without.close()
+
+    def test_prefetch_bounded_by_cache(self, store):
+        paged = OutOfCoreIndex(
+            TraceFileReader(store), cache_blocks=3, prefetch_blocks=100
+        )
+        # readahead must never be allowed to churn the whole LRU
+        assert paged.prefetch_blocks <= 2
+        self.sweep(paged, steps=5)
+        assert paged.cached_blocks <= 3
+        paged.close()
+
+    def test_negative_prefetch_rejected(self, store):
+        with pytest.raises(ValueError, match="prefetch_blocks"):
+            OutOfCoreIndex(TraceFileReader(store), prefetch_blocks=-1)
+
+    def test_stats_text_reports_readahead(self, store):
+        paged = OutOfCoreIndex(
+            TraceFileReader(store), cache_blocks=16, prefetch_blocks=4
+        )
+        self.sweep(paged)
+        text = paged.stats().as_text()
+        assert "readahead" in text
+        assert "prefetch loads" in text
+        paged.close()
+
+
+class TestPrefetchEnvVar:
+    def test_env_var_wins_over_argument(self, tmp_path, monkeypatch):
+        store = write_plain(tmp_path / "t.trace", make_batch(5, 800, True))
+        monkeypatch.setenv(NO_PREFETCH_ENV_VAR, "1")
+        assert not prefetch_enabled()
+        paged = OutOfCoreIndex(
+            TraceFileReader(store), cache_blocks=8, prefetch_blocks=4
+        )
+        assert paged.prefetch_blocks == 0
+        paged.seek_window(0.0, 2.0)
+        paged.wait_prefetch(1.0)
+        assert paged.stats().prefetch_loads == 0
+        paged.close()
+
+    def test_default_depth_applies_when_enabled(self, tmp_path, monkeypatch):
+        store = write_plain(tmp_path / "t.trace", make_batch(5, 800, True))
+        monkeypatch.delenv(NO_PREFETCH_ENV_VAR, raising=False)
+        paged = OutOfCoreIndex(TraceFileReader(store), cache_blocks=32)
+        assert paged.prefetch_blocks == DEFAULT_PREFETCH_BLOCKS
+        paged.close()
+
+
+# ----------------------------------------------------------------------
+# cache thread-safety under concurrent queries + readahead
+# ----------------------------------------------------------------------
+class TestConcurrentAccess:
+    def _counting_reader(self, path):
+        reader = TraceFileReader(path)
+        counts: dict = {}
+        lock = threading.Lock()
+        orig = reader.load_block
+
+        def counting_load(ref):
+            key = (ref.shard, ref.entry.offset)
+            with lock:
+                counts[key] = counts.get(key, 0) + 1
+            return orig(ref)
+
+        reader.load_block = counting_load  # type: ignore[method-assign]
+        return reader, counts
+
+    def test_no_block_decoded_twice_when_cache_fits(self, tmp_path):
+        store = write_plain(
+            tmp_path / "c.trace", make_batch(11, 3000, True)
+        )
+        reader, counts = self._counting_reader(store)
+        paged = OutOfCoreIndex(reader, cache_blocks=256, prefetch_blocks=4)
+        nthreads = 6
+        barrier = threading.Barrier(nthreads)
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for k in range(12):
+                    lo = ((tid + k) % 12) * 2.5
+                    paged.seek_window(lo, lo + 2.5)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        paged.wait_prefetch(10.0)
+        paged.close()
+        assert not errors
+        # cache never evicts (256 >> nblocks), so the single-flight
+        # loader must have decoded every touched block exactly once
+        assert counts and max(counts.values()) == 1
+        stats = paged.stats()
+        assert stats.block_loads + stats.prefetch_loads == len(counts)
+
+    def test_lru_bound_holds_under_contention(self, tmp_path):
+        store = write_plain(
+            tmp_path / "s.trace", make_batch(13, 3000, True)
+        )
+        reader = TraceFileReader(store)
+        paged = OutOfCoreIndex(reader, cache_blocks=4, prefetch_blocks=2)
+        expected = {}
+        plain = TraceFileReader(store)
+        windows = [(k * 2.0, k * 2.0 + 2.0) for k in range(15)]
+        for lo, hi in windows:
+            expected[(lo, hi)] = [r.index for r in plain.seek_window(lo, hi)]
+        nthreads = 5
+        barrier = threading.Barrier(nthreads)
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(len(windows)):
+                    lo, hi = windows[(tid + i) % len(windows)]
+                    got = [r.index for r in paged.seek_window(lo, hi)]
+                    assert got == expected[(lo, hi)]
+                    assert paged.cached_blocks <= 4
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        paged.close()
+        assert not errors
+        assert paged.cached_blocks <= 4
+        assert paged.resident_bytes >= 0
+
+
+# ----------------------------------------------------------------------
+# process-parallel builds == serial builds, exactly
+# ----------------------------------------------------------------------
+class TestParallelBuild:
+    def _write_sharded(self, tmp, batch, shards=3):
+        path = tmp / "p.trace"
+        with TraceShardWriter(
+            path, NPROCS, index_block=32, shards=shards, by="hash"
+        ) as w:
+            for rec in batch:
+                w.write(rec)
+        return path
+
+    def assert_equal_indexes(self, serial, par):
+        assert len(serial) == len(par)
+        for name in serial.columns:
+            assert np.array_equal(serial.column(name), par.column(name)), name
+        assert list(serial.records) == list(par.records)
+        assert serial.span == par.span
+        assert serial.message_pairs() == par.message_pairs()
+
+    def test_parallel_build_matches_serial(self, tmp_path):
+        batch = make_batch(21, 600)
+        path = self._write_sharded(tmp_path, batch)
+        serial = HistoryIndex.from_file(TraceFileReader(path))
+        par = HistoryIndex.from_file(TraceFileReader(path), parallel=2)
+        self.assert_equal_indexes(serial, par)
+        stats = par.stats()
+        assert stats.parallel_shards >= 2
+        assert stats.parallel_workers == 2
+        assert "parallel build" in stats.as_text()
+
+    def test_parallel_single_file_chunked(self, tmp_path):
+        # a single v3 file with enough index blocks also fans out
+        path = write_plain(
+            tmp_path / "one.trace", make_batch(23, 800), index_block=32
+        )
+        serial = HistoryIndex.from_file(TraceFileReader(path))
+        par = HistoryIndex.from_file(TraceFileReader(path), parallel=2)
+        self.assert_equal_indexes(serial, par)
+
+    def test_parallel_falls_back_below_threshold(self, tmp_path):
+        # one populated shard -> nothing to fan out -> serial path
+        path = write_plain(tmp_path / "tiny.trace", make_batch(29, 40))
+        reader = TraceFileReader(path)
+        assert read_columns_parallel(reader, 1) is None
+        idx = HistoryIndex.from_file(reader, parallel=1)
+        assert idx.stats().parallel_shards == 0
+        assert len(idx) == 40
+
+    def test_parallel_excludes_paged(self, tmp_path):
+        path = write_plain(tmp_path / "x.trace", make_batch(31, 40))
+        with pytest.raises(ValueError, match="parallel"):
+            HistoryIndex.from_file(
+                TraceFileReader(path), paged=True, parallel=2
+            )
+
+    def test_prefetch_arg_requires_paged(self, tmp_path):
+        path = write_plain(tmp_path / "y.trace", make_batch(31, 40))
+        with pytest.raises(ValueError, match="prefetch"):
+            HistoryIndex.from_file(TraceFileReader(path), prefetch_blocks=2)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=hst.integers(0, 10**6), n=hst.integers(40, 250))
+    def test_property_parallel_equals_serial(self, seed, n):
+        batch = make_batch(seed, n)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self._write_sharded(Path(tmp), batch, shards=2)
+            serial = HistoryIndex.from_file(TraceFileReader(path))
+            par = HistoryIndex.from_file(TraceFileReader(path), parallel=2)
+            self.assert_equal_indexes(serial, par)

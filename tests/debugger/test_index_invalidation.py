@@ -93,3 +93,26 @@ def test_stats_command(session):
     assert "history index stats" in out
     assert "1 build(s)" in out
     assert "help" in interp.execute("help") or "stats" in interp.execute("help")
+
+
+def test_stats_command_reports_paged_index(session, tmp_path):
+    """With an out-of-core index attached, ``stats`` folds in its
+    cache/readahead counters next to the history-index report."""
+    from repro.analysis.paged import OutOfCoreIndex
+    from repro.trace import TraceFileReader, save_trace
+
+    interp = CommandInterpreter(session)
+    interp.execute("run")
+    assert "paged index" not in interp.execute("stats")
+
+    path = tmp_path / "run.trace"
+    save_trace(session.trace(), path)
+    paged = OutOfCoreIndex(TraceFileReader(path), cache_blocks=4)
+    session.attach_paged_index(paged)
+    lo, hi = paged.span
+    paged.seek_window(lo, hi)
+    out = interp.execute("stats")
+    assert "history index stats" in out
+    assert "paged index: 1 window query" in out
+    assert "demand loads" in out
+    paged.close()

@@ -1,0 +1,140 @@
+"""Merge-free trace recording under the mproc backend.
+
+Contract: with ``trace_path`` set, each forked rank streams its own
+shard file and the parent writes only the manifest -- and the merged
+read of that store is record-for-record identical to the legacy
+pickle-and-merge path (``trace_mode="merge"``) for the same
+deterministic, wildcard-free program.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mp.backends.mproc import MprocBackend
+from repro.mp.runtime import Runtime
+from repro.mp.scheduler import RunOutcome
+from repro.trace import EventKind, TraceFileReader
+from repro.trace.shard import SHARD_TEMPLATE, ShardManifest
+
+NPROCS = 3
+
+
+def ring_target(comm):
+    """Deterministic ring: explicit sources, no wildcards, no races."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    for k in range(3):
+        comm.send((comm.rank, k), right, tag=5)
+        comm.recv(left, tag=5)
+    return comm.rank
+
+
+def all_recv_target(comm):
+    """Everyone sends once then waits for a message that never comes."""
+    comm.send(("x", comm.rank), (comm.rank + 1) % comm.size, tag=1)
+    comm.recv((comm.rank + 1) % comm.size, tag=99)
+
+
+def run_traced(tmp_path, mode, name, targets=None, nprocs=NPROCS):
+    path = tmp_path / name
+    backend = MprocBackend(trace_path=path, trace_mode=mode)
+    rt = Runtime(nprocs, backend=backend)
+    rt.launch(targets if targets is not None else [ring_target] * nprocs)
+    report = rt.run_until_idle()
+    rt.shutdown()
+    return path, report
+
+
+def record_key(rec):
+    return (
+        rec.index, rec.proc, rec.kind, rec.marker,
+        rec.src, rec.dst, rec.tag, rec.seq,
+    )
+
+
+def test_shard_mode_writes_manifest_and_per_rank_shards(tmp_path):
+    path, report = run_traced(tmp_path, "shard", "run.trace")
+    assert report.outcome is RunOutcome.FINISHED
+    # one shard file per rank, named by the manifest template
+    for rank in range(NPROCS):
+        shard = tmp_path / SHARD_TEMPLATE.format(stem="run", num=rank)
+        assert shard.is_file()
+    manifest = ShardManifest.from_jsonable(json.loads(path.read_text()))
+    assert manifest.nprocs == NPROCS
+    assert len(manifest.shards) == NPROCS
+    # rank-owned shards: each holds exactly its own rank's records
+    for rank, info in enumerate(manifest.shards):
+        assert info.procs == frozenset({rank})
+        assert info.records > 0
+
+    reader = TraceFileReader(path)
+    assert reader.sharded
+    records = list(reader.iter_records())
+    assert len(records) == manifest.records
+    indices = [rec.index for rec in records]
+    assert indices == sorted(indices)
+    kinds = {rec.kind for rec in records}
+    # lifecycle wrapping is on: every rank contributes start/exit marks
+    assert EventKind.PROC_START in kinds and EventKind.PROC_EXIT in kinds
+    assert sum(1 for r in records if r.kind is EventKind.PROC_START) == NPROCS
+
+
+def test_shard_and_merge_modes_record_identically(tmp_path):
+    shard_path, rep1 = run_traced(tmp_path, "shard", "a.trace")
+    merge_path, rep2 = run_traced(tmp_path, "merge", "b.trace")
+    assert rep1.outcome is rep2.outcome is RunOutcome.FINISHED
+    shard_reader = TraceFileReader(shard_path)
+    merge_reader = TraceFileReader(merge_path)
+    assert shard_reader.sharded and not merge_reader.sharded
+    shard_recs = list(shard_reader.iter_records())
+    merge_recs = list(merge_reader.iter_records())
+    assert len(shard_recs) == len(merge_recs) > 0
+    assert [record_key(r) for r in shard_recs] == [
+        record_key(r) for r in merge_recs
+    ]
+
+
+def test_merge_mode_single_file_is_index_ordered(tmp_path):
+    path, report = run_traced(tmp_path, "merge", "merged.trace")
+    assert report.outcome is RunOutcome.FINISHED
+    reader = TraceFileReader(path)
+    records = reader.read_all()
+    indices = [rec.index for rec in records]
+    assert indices == sorted(indices)
+    # per-rank index slices are disjoint and interleaved by nprocs
+    for rec in records:
+        assert rec.index % NPROCS == rec.proc
+
+
+def test_deadlocked_run_still_writes_manifest(tmp_path):
+    path, report = run_traced(
+        tmp_path, "shard", "dead.trace", targets=[all_recv_target] * NPROCS
+    )
+    # the abort-path drain must NOT disturb deadlock classification
+    assert report.outcome is RunOutcome.DEADLOCK
+    assert len(report.blocked) == NPROCS
+    assert len(report.waiting) == NPROCS
+    reader = TraceFileReader(path)
+    records = list(reader.iter_records())
+    # each rank got at least PROC_START and its send on disk
+    kinds = {rec.kind for rec in records}
+    assert EventKind.SEND in kinds
+    assert sum(1 for r in records if r.kind is EventKind.PROC_START) == NPROCS
+
+
+def test_invalid_trace_mode_rejected():
+    with pytest.raises(ValueError, match="trace_mode"):
+        MprocBackend(trace_path="x.trace", trace_mode="bogus")
+
+
+def test_untraced_backend_unchanged(tmp_path):
+    backend = MprocBackend()
+    rt = Runtime(NPROCS, backend=backend)
+    rt.launch([ring_target] * NPROCS)
+    report = rt.run_until_idle()
+    rt.shutdown()
+    assert report.outcome is RunOutcome.FINISHED
+    assert list(tmp_path.iterdir()) == []
